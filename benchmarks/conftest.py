@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series (use ``-s`` to see them alongside the
+timings). Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult under the benchmark output."""
+
+    def _show(result):
+        print()
+        print(result.render())
+        return result
+
+    return _show

@@ -1,0 +1,26 @@
+"""Benchmarks: model/design ablations (beyond the paper).
+
+X1 — latency-hiding and contention/thrashing terms of the performance
+model; X2 — two-level memory management policies.
+"""
+
+from repro.experiments.ablations import (
+    run_contention_ablation,
+    run_latency_hiding_ablation,
+    run_memory_management_ablation,
+)
+
+
+def test_bench_ablation_latency_hiding(benchmark, show):
+    """X1a: chiplet penalty with and without wavefront latency hiding."""
+    show(benchmark(run_latency_hiding_ablation))
+
+
+def test_bench_ablation_contention(benchmark, show):
+    """X1b: thrashing/contention terms vs the over-provisioning fall-off."""
+    show(benchmark(run_contention_ablation))
+
+
+def test_bench_ablation_memory_management(benchmark, show):
+    """X2: first-touch vs hotness-migration placement."""
+    show(benchmark(run_memory_management_ablation))

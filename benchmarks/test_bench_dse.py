@@ -1,0 +1,12 @@
+"""Benchmark: Section V: full design-space exploration.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.dse_summary import run_dse_summary
+
+
+def test_bench_dse(benchmark, show):
+    """Section V: full design-space exploration."""
+    result = benchmark.pedantic(run_dse_summary, rounds=1, iterations=1)
+    show(result)

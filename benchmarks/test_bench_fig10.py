@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 10: peak in-package 3D-DRAM temperature.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.thermal_eval import run_fig10
+
+
+def test_bench_fig10(benchmark, show):
+    """Fig. 10: peak in-package 3D-DRAM temperature."""
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 11: SNAP bottom DRAM-die heat map, two configs.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.thermal_eval import run_fig11
+
+
+def test_bench_fig11(benchmark, show):
+    """Fig. 11: SNAP bottom DRAM-die heat map, two configs."""
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    show(result)

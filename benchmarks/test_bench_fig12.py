@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 12: power savings per optimization.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.power_opts import run_fig12
+
+
+def test_bench_fig12(benchmark, show):
+    """Fig. 12: power savings per optimization."""
+    result = benchmark(run_fig12)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 13: perf/W gain of the optimized best-mean config.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.power_opts import run_fig13
+
+
+def test_bench_fig13(benchmark, show):
+    """Fig. 13: perf/W gain of the optimized best-mean config."""
+    result = benchmark(run_fig13)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 14: MaxFlops exaflops and MW vs CU count.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.exascale_target import run_fig14
+
+
+def test_bench_fig14(benchmark, show):
+    """Fig. 14: MaxFlops exaflops and MW vs CU count."""
+    result = benchmark(run_fig14)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 4: MaxFlops perf vs ops/byte at six bandwidths.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.kernel_sweeps import run_fig4
+
+
+def test_bench_fig4(benchmark, show):
+    """Fig. 4: MaxFlops perf vs ops/byte at six bandwidths."""
+    result = benchmark(run_fig4)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 5: CoMD perf vs ops/byte at six bandwidths.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.kernel_sweeps import run_fig5
+
+
+def test_bench_fig5(benchmark, show):
+    """Fig. 5: CoMD perf vs ops/byte at six bandwidths."""
+    result = benchmark(run_fig5)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 6: LULESH perf vs ops/byte at six bandwidths.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.kernel_sweeps import run_fig6
+
+
+def test_bench_fig6(benchmark, show):
+    """Fig. 6: LULESH perf vs ops/byte at six bandwidths."""
+    result = benchmark(run_fig6)
+    show(result)

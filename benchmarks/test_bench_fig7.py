@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 7: out-of-chiplet traffic and chiplet-vs-monolithic perf.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.chiplet_traffic import run_fig7
+
+
+def test_bench_fig7(benchmark, show):
+    """Fig. 7: out-of-chiplet traffic and chiplet-vs-monolithic perf."""
+    result = benchmark(run_fig7)
+    show(result)

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 8: performance vs in-package DRAM miss rate.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.miss_sensitivity import run_fig8
+
+
+def test_bench_fig8(benchmark, show):
+    """Fig. 8: performance vs in-package DRAM miss rate."""
+    result = benchmark(run_fig8)
+    show(result)

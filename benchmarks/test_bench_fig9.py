@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 9: ENA power, DRAM-only vs DRAM+NVM external memory.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.external_memory import run_fig9
+
+
+def test_bench_fig9(benchmark, show):
+    """Fig. 9: ENA power, DRAM-only vs DRAM+NVM external memory."""
+    result = benchmark(run_fig9)
+    show(result)

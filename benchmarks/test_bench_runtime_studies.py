@@ -1,0 +1,26 @@
+"""Benchmarks: runtime studies X3a-X3c (beyond the paper).
+
+Governor decisions, checkpointed machine efficiency, and HSA dispatch
+speedups.
+"""
+
+from repro.experiments.runtime_studies import (
+    run_checkpoint_study,
+    run_governor_study,
+    run_hsa_dispatch_study,
+)
+
+
+def test_bench_governor_study(benchmark, show):
+    """X3a: DVFS/power-gating governor at the best-mean configuration."""
+    show(benchmark.pedantic(run_governor_study, rounds=1, iterations=1))
+
+
+def test_bench_checkpoint_study(benchmark, show):
+    """X3b: machine efficiency under optimal checkpointing."""
+    show(benchmark(run_checkpoint_study))
+
+
+def test_bench_hsa_dispatch_study(benchmark, show):
+    """X3c: unified-memory vs copy-based dispatch."""
+    show(benchmark(run_hsa_dispatch_study))

@@ -1,0 +1,8 @@
+"""Benchmark: X4 technology-parameter sensitivity (beyond the paper)."""
+
+from repro.experiments.sensitivity import run_sensitivity_study
+
+
+def test_bench_sensitivity(benchmark, show):
+    """X4: tornado sensitivity of perf and power to technology constants."""
+    show(benchmark.pedantic(run_sensitivity_study, rounds=1, iterations=1))

@@ -1,0 +1,12 @@
+"""Benchmark: Table I: application catalog.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, show):
+    """Table I: application catalog."""
+    result = benchmark(run_table1)
+    show(result)

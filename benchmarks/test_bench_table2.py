@@ -1,0 +1,12 @@
+"""Benchmark: Table II: dynamic reconfiguration benefit.
+
+Regenerates the paper artifact and prints the reproduced rows/series.
+"""
+
+from repro.experiments.reconfiguration import run_table2
+
+
+def test_bench_table2(benchmark, show):
+    """Table II: dynamic reconfiguration benefit."""
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    show(result)

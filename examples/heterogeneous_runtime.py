@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A heterogeneous runtime on the EHP: HSA offload, phase governance,
+and resilient execution.
+
+Walks one synthetic molecular-dynamics application through the software
+stack the paper's node assumes:
+
+1. **HSA task graphs** — the per-timestep DAG dispatched across the CPU
+   and GPU agents, comparing unified-memory (HSA) dispatch against
+   legacy copy-based offload (Section II-A1's programmability claim).
+2. **Phase-aware power governance** — the DVFS/power-gating governor
+   backs off the memory-bound phases within a 2% performance budget
+   (Section VI's dynamic reconfiguration direction).
+3. **Checkpointed execution** — the RAS stack's system MTTF sets the
+   optimal checkpoint cadence and the machine's delivered efficiency.
+
+Run:
+    python examples/heterogeneous_runtime.py
+"""
+
+from repro import NodeModel, PAPER_BEST_MEAN
+from repro.core.governor import DvfsGovernor
+from repro.hsa import DagExecutor, OffloadCostModel, Task, TaskGraph
+from repro.ras import Chipkill, RmtCostModel, SystemReliability
+from repro.ras.checkpoint import CheckpointModel
+from repro.workloads import synthetic_md_application
+
+
+def timestep_graph() -> TaskGraph:
+    """One MD timestep as a CPU/GPU task DAG (reference [13] style)."""
+    g = TaskGraph()
+    g.add(Task("decompose", "cpu", 0.4e-3))
+    g.add(Task("forces", "gpu", 3.0e-3, bytes_touched=2.0e9,
+               depends_on=("decompose",)))
+    g.add(Task("neighbours", "gpu", 1.2e-3, bytes_touched=1.5e9,
+               depends_on=("decompose",)))
+    g.add(Task("integrate", "gpu", 0.8e-3, bytes_touched=0.8e9,
+               depends_on=("forces", "neighbours")))
+    g.add(Task("diagnostics", "cpu", 0.5e-3, depends_on=("integrate",)))
+    return g
+
+
+def hsa_vs_legacy() -> None:
+    print("=== 1. HSA unified-memory dispatch vs legacy copies ===")
+    graph = timestep_graph()
+    cost = OffloadCostModel()
+    for regime in ("legacy", "hsa"):
+        result = DagExecutor(cost, regime=regime).run(graph)
+        print(
+            f"  {regime:6s}: timestep {result.makespan * 1e3:6.2f} ms, "
+            f"GPU utilization {result.utilization('gpu'):5.1%}"
+        )
+    hsa = DagExecutor(cost, "hsa").run(graph).makespan
+    legacy = DagExecutor(cost, "legacy").run(graph).makespan
+    print(f"  -> {legacy / hsa:.1f}x faster timesteps from eliminating "
+          "staging copies and driver round-trips.\n")
+
+
+def governed_phases() -> None:
+    print("=== 2. Phase-aware DVFS / power-gating governance ===")
+    app = synthetic_md_application(iterations=4)
+    governor = DvfsGovernor(max_perf_loss=0.02)
+    print(f"  application: {app.name}, {len(app)} phases, mix "
+          f"{ {k: round(v, 2) for k, v in app.category_mix().items()} }")
+    out = governor.run_phases(
+        [p.profile for p in app], PAPER_BEST_MEAN
+    )
+    print(
+        f"  energy saving {out['energy_saving']:5.1%} at "
+        f"{out['slowdown']:+.1%} runtime vs the fixed best-mean config"
+    )
+    blend = app.blended_profile()
+    d = governor.decide(blend, PAPER_BEST_MEAN)
+    print(
+        f"  (a phase-blind governor on the blended profile would pick "
+        f"{d.config.label()} for the whole run)\n"
+    )
+
+
+def checkpointed_execution() -> None:
+    print("=== 3. Checkpoint cadence from the RAS stack ===")
+    cm = CheckpointModel(checkpoint_bytes=96e9, io_bandwidth=50e9)
+    for label, sr in (
+        ("chipkill", SystemReliability(memory_ecc=Chipkill)),
+        (
+            "chipkill + RMT",
+            SystemReliability(memory_ecc=Chipkill, rmt=RmtCostModel()),
+        ),
+    ):
+        mttf_s = sr.system_mttf_hours() * 3600.0
+        plan = cm.plan(mttf_s)
+        print(
+            f"  {label:15s}: system MTTF {mttf_s / 3600:5.1f} h -> "
+            f"checkpoint every {plan.interval_s / 60:5.1f} min, "
+            f"machine efficiency {plan.efficiency:5.1%}"
+        )
+    target = cm.required_mttf_for_efficiency(0.99)
+    print(
+        f"  99% efficiency needs a system MTTF of {target / 3600:.1f} h — "
+        "the RAS budget behind the paper's week-scale target.\n"
+    )
+
+
+def main() -> None:
+    hsa_vs_legacy()
+    governed_phases()
+    checkpointed_execution()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate the Table I applications on one EHP design point.
+
+Builds the default calibrated node model, runs every catalog application
+at the paper's best-mean configuration (320 CUs / 1000 MHz / 3 TB/s),
+and prints achieved teraflops, node power, energy efficiency, and peak
+in-package DRAM temperature.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import APPLICATIONS, NodeModel, PAPER_BEST_MEAN
+from repro.thermal import ThermalModel
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    model = NodeModel()
+    thermal = ThermalModel()
+
+    print(f"EHP design point: {PAPER_BEST_MEAN.label()} (CUs / MHz / TB/s)")
+    print(f"Peak DP throughput: {PAPER_BEST_MEAN.peak_dp_flops / 1e12:.1f} TF")
+    print(f"In-package DRAM:    {PAPER_BEST_MEAN.dram3d_capacity / 1e9:.0f} GB")
+    print()
+
+    table = TextTable(
+        ["Application", "Category", "TFLOP/s", "Node W", "GF/s per W",
+         "Peak DRAM C"],
+        float_format="{:.1f}",
+    )
+    for profile in APPLICATIONS.values():
+        result = model.evaluate(
+            profile,
+            PAPER_BEST_MEAN,
+            ext_fraction=profile.ext_memory_fraction,
+        )
+        report = thermal.analyze(result.power)
+        table.add_row(
+            [
+                profile.name,
+                str(profile.category),
+                float(result.performance) / 1e12,
+                float(result.node_power),
+                float(result.perf_per_watt) / 1e9,
+                report.peak_dram_c,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        "All applications fit the 160 W node budget and the 85 C DRAM "
+        "refresh limit at this design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

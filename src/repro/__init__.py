@@ -1,0 +1,74 @@
+"""repro — reproduction of "Design and Analysis of an APU for Exascale
+Computing" (HPCA 2017).
+
+The library models the paper's Exascale Node Architecture (ENA): a
+chiplet-based Exascale Heterogeneous Processor (EHP) with in-package 3D
+DRAM and an external memory network, evaluated through analytic
+performance/power models, a compact thermal solver, a chiplet NoC model,
+and a trace-driven simulator. See ``DESIGN.md`` for the system inventory
+and ``EXPERIMENTS.md`` for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import NodeModel, EHPConfig, get_application
+
+    model = NodeModel()
+    lulesh = get_application("LULESH")
+    result = model.evaluate(lulesh, EHPConfig(n_cus=320))
+    print(result.performance, result.node_power)
+"""
+
+from repro.core import (
+    ALL_OPTIMIZATIONS,
+    PAPER_BEST_MEAN,
+    PAPER_BEST_MEAN_OPTIMIZED,
+    DesignSpace,
+    DseResult,
+    EHPConfig,
+    ExascaleSystem,
+    NodeEvaluation,
+    NodeModel,
+    PowerOptimization,
+    apply_optimizations,
+    best_config_for,
+    best_mean_config,
+    explore,
+)
+from repro.perfmodel import MachineParams
+from repro.power import ExternalMemoryConfig, PowerParams, VFCurve
+from repro.workloads import (
+    APPLICATIONS,
+    KernelCategory,
+    KernelProfile,
+    application_names,
+    get_application,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EHPConfig",
+    "DesignSpace",
+    "PAPER_BEST_MEAN",
+    "PAPER_BEST_MEAN_OPTIMIZED",
+    "NodeModel",
+    "NodeEvaluation",
+    "DseResult",
+    "explore",
+    "best_mean_config",
+    "best_config_for",
+    "PowerOptimization",
+    "ALL_OPTIMIZATIONS",
+    "apply_optimizations",
+    "ExascaleSystem",
+    "MachineParams",
+    "PowerParams",
+    "VFCurve",
+    "ExternalMemoryConfig",
+    "KernelProfile",
+    "KernelCategory",
+    "APPLICATIONS",
+    "application_names",
+    "get_application",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                # show available experiments
+    python -m repro fig8 table2        # run selected artifacts
+    python -m repro all                 # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.ablations import (
+    run_contention_ablation,
+    run_latency_hiding_ablation,
+    run_memory_management_ablation,
+)
+from repro.experiments.chiplet_traffic import run_fig7
+from repro.experiments.dse_summary import run_dse_summary
+from repro.experiments.exascale_target import run_fig14
+from repro.experiments.external_memory import run_fig9
+from repro.experiments.kernel_sweeps import run_fig4, run_fig5, run_fig6
+from repro.experiments.miss_sensitivity import run_fig8
+from repro.experiments.power_opts import run_fig12, run_fig13
+from repro.experiments.reconfiguration import run_table2
+from repro.experiments.runtime_studies import (
+    run_checkpoint_study,
+    run_governor_study,
+    run_hsa_dispatch_study,
+)
+from repro.experiments.sensitivity import run_sensitivity_study
+from repro.experiments.table1 import run_table1
+from repro.experiments.thermal_eval import run_fig10, run_fig11
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": run_table1,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "table2": run_table2,
+    "dse": run_dse_summary,
+    "ablation-latency-hiding": run_latency_hiding_ablation,
+    "ablation-contention": run_contention_ablation,
+    "ablation-memory-management": run_memory_management_ablation,
+    "x3a-governor": run_governor_study,
+    "x3b-checkpoint": run_checkpoint_study,
+    "x3c-hsa-dispatch": run_hsa_dispatch_study,
+    "x4-sensitivity": run_sensitivity_study,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate tables/figures from 'Design and Analysis of an "
+            "APU for Exascale Computing' (HPCA 2017)."
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.artifacts == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = (
+        list(EXPERIMENTS) if args.artifacts == ["all"] else args.artifacts
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(try 'python -m repro list')",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        print(EXPERIMENTS[name]().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the ENA node model and its analysis.
+
+* :mod:`repro.core.config` — typed design points (:class:`EHPConfig`) and
+  the exploration grid (:class:`DesignSpace`).
+* :mod:`repro.core.node` — :class:`NodeModel`, tying the performance and
+  power substrates into single-call node evaluation.
+* :mod:`repro.core.dse` — the Section V design-space exploration: best-mean
+  and best-per-application configurations under the 160 W budget.
+* :mod:`repro.core.optimizations` — the Section V-E power optimizations.
+* :mod:`repro.core.reconfig` — dynamic resource reconfiguration (Table II).
+* :mod:`repro.core.exascale` — 100,000-node system roll-up (Fig. 14).
+"""
+
+from repro.core.config import (
+    PAPER_BEST_MEAN,
+    PAPER_BEST_MEAN_OPTIMIZED,
+    DesignSpace,
+    EHPConfig,
+)
+from repro.core.node import NodeEvaluation, NodeModel
+from repro.core.dse import DseResult, explore, best_mean_config, best_config_for
+from repro.core.optimizations import (
+    ALL_OPTIMIZATIONS,
+    PowerOptimization,
+    apply_optimizations,
+)
+from repro.core.exascale import ExascaleSystem
+
+__all__ = [
+    "EHPConfig",
+    "DesignSpace",
+    "PAPER_BEST_MEAN",
+    "PAPER_BEST_MEAN_OPTIMIZED",
+    "NodeModel",
+    "NodeEvaluation",
+    "DseResult",
+    "explore",
+    "best_mean_config",
+    "best_config_for",
+    "PowerOptimization",
+    "ALL_OPTIMIZATIONS",
+    "apply_optimizations",
+    "ExascaleSystem",
+]

@@ -1,0 +1,84 @@
+"""System-level roll-up: from one ENA node to the exascale machine.
+
+Section V-F scales the node analysis to the full 100,000-node system:
+achieved exaflops, machine power in megawatts, and whether the 1 EF /
+20 MW target is met. Fig. 14 sweeps CU count for MaxFlops at 1 GHz and
+1 TB/s. The power accounted here is the peak-compute scenario the paper
+describes — EHP package power, with external memory idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EHPConfig
+from repro.core.node import NodeModel
+from repro.util.units import MW
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["ExascaleSystem", "SystemEstimate"]
+
+
+@dataclass(frozen=True)
+class SystemEstimate:
+    """Machine-level projection for one workload and design point."""
+
+    exaflops: float
+    machine_power_mw: float
+    node_teraflops: float
+    node_power_w: float
+
+    @property
+    def meets_exaflop(self) -> bool:
+        """Does the machine reach 1 EF?"""
+        return self.exaflops >= 1.0
+
+    @property
+    def meets_power_envelope(self) -> bool:
+        """Does it stay within the 20 MW envelope?"""
+        return self.machine_power_mw <= 20.0
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Machine-level energy efficiency."""
+        return (self.exaflops * 1.0e9) / (self.machine_power_mw * MW / 1.0e3) \
+            if self.machine_power_mw > 0 else float("inf")
+
+
+class ExascaleSystem:
+    """A machine of *n_nodes* identical ENA nodes."""
+
+    def __init__(self, n_nodes: int = 100_000, model: NodeModel | None = None):
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self.model = model or NodeModel()
+
+    def estimate(
+        self, profile: KernelProfile, config: EHPConfig
+    ) -> SystemEstimate:
+        """Project *profile* on *config* across the whole machine."""
+        evaluation = self.model.evaluate(profile, config)
+        node_flops = float(evaluation.performance)
+        node_power = float(evaluation.ehp_power)
+        return SystemEstimate(
+            exaflops=node_flops * self.n_nodes / 1.0e18,
+            machine_power_mw=node_power * self.n_nodes / MW,
+            node_teraflops=node_flops / 1.0e12,
+            node_power_w=node_power,
+        )
+
+    def cu_sweep(
+        self,
+        profile: KernelProfile,
+        cu_counts,
+        config: EHPConfig | None = None,
+    ) -> list[SystemEstimate]:
+        """Fig. 14's sweep: vary CU count at fixed frequency/bandwidth."""
+        config = config or EHPConfig(
+            n_cus=320, gpu_freq=1.0e9, bandwidth=1.0e12
+        )
+        return [
+            self.estimate(profile, config.with_axes(n_cus=int(n)))
+            for n in cu_counts
+        ]

@@ -1,0 +1,154 @@
+"""The ENA node model: one-call performance + power evaluation.
+
+:class:`NodeModel` is the reproduction of the paper's high-level simulator
+as a user-facing object: construct it with technology parameters (or use
+the defaults), then evaluate any kernel profile on any design point. The
+design-space exploration, the experiment drivers and the examples all go
+through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import EHPConfig
+from repro.perfmodel.machine import MachineParams
+from repro.perfmodel.roofline import KernelMetrics, evaluate_kernel
+from repro.power.breakdown import (
+    ExternalMemoryConfig,
+    PowerBreakdown,
+    node_power,
+)
+from repro.power.components import PowerParams
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["NodeEvaluation", "NodeModel"]
+
+
+@dataclass(frozen=True)
+class NodeEvaluation:
+    """Joint performance/power result of one (or many) design points."""
+
+    metrics: KernelMetrics
+    power: PowerBreakdown
+
+    @property
+    def performance(self) -> np.ndarray:
+        """Achieved throughput, FLOP/s."""
+        return self.metrics.flops_rate
+
+    @property
+    def ehp_power(self) -> np.ndarray:
+        """EHP package power, watts (the DSE budget's subject)."""
+        return self.power.ehp_package
+
+    @property
+    def node_power(self) -> np.ndarray:
+        """Total ENA node power, watts."""
+        return self.power.total
+
+    @property
+    def perf_per_watt(self) -> np.ndarray:
+        """Energy efficiency, FLOP/s per watt of node power."""
+        return self.performance / self.node_power
+
+    @property
+    def energy(self) -> np.ndarray:
+        """Total node energy over the kernel, joules."""
+        return self.node_power * self.metrics.time
+
+
+class NodeModel:
+    """Analytic model of one ENA node.
+
+    Parameters
+    ----------
+    machine:
+        Microarchitecture/technology constants for the performance model.
+    power_params:
+        Component power constants (possibly with optimizations applied
+        via :func:`repro.core.optimizations.apply_optimizations`).
+    ext_config:
+        External memory composition; defaults to the paper's 1 TB
+        DRAM-only baseline.
+    """
+
+    def __init__(
+        self,
+        machine: MachineParams | None = None,
+        power_params: PowerParams | None = None,
+        ext_config: ExternalMemoryConfig | None = None,
+    ):
+        self.machine = machine or MachineParams()
+        self.power_params = power_params or PowerParams()
+        self.ext_config = ext_config or ExternalMemoryConfig.dram_only()
+
+    def with_power_params(self, power_params: PowerParams) -> "NodeModel":
+        """A copy of this model with different power parameters."""
+        return NodeModel(self.machine, power_params, self.ext_config)
+
+    def with_ext_config(self, ext_config: ExternalMemoryConfig) -> "NodeModel":
+        """A copy of this model with a different external memory network."""
+        return NodeModel(self.machine, self.power_params, ext_config)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        profile: KernelProfile,
+        config: EHPConfig,
+        *,
+        ext_fraction: float | None = None,
+        extra_latency: float = 0.0,
+    ) -> NodeEvaluation:
+        """Evaluate *profile* on a single design point.
+
+        ``ext_fraction`` overrides the share of DRAM traffic served by
+        external memory; ``None`` uses the all-in-package scenario (the
+        paper's DSE and Figs. 4-6 convention). Pass
+        ``profile.ext_memory_fraction`` for the power studies.
+        """
+        return self.evaluate_arrays(
+            profile,
+            config.n_cus,
+            config.gpu_freq,
+            config.bandwidth,
+            ext_fraction=ext_fraction,
+            extra_latency=extra_latency,
+        )
+
+    def evaluate_arrays(
+        self,
+        profile: KernelProfile,
+        n_cus,
+        freq,
+        bandwidth,
+        *,
+        ext_fraction=None,
+        extra_latency: float = 0.0,
+    ) -> NodeEvaluation:
+        """Vectorized evaluation over arrays of design-point axes."""
+        metrics = evaluate_kernel(
+            profile,
+            n_cus,
+            freq,
+            bandwidth,
+            ext_fraction=ext_fraction,
+            machine=self.machine,
+            extra_latency=extra_latency,
+        )
+        power = node_power(
+            profile,
+            metrics,
+            n_cus,
+            freq,
+            bandwidth,
+            params=self.power_params,
+            ext_config=self.ext_config,
+        )
+        return NodeEvaluation(metrics=metrics, power=power)
+
+    def performance(self, profile: KernelProfile, config: EHPConfig) -> float:
+        """Convenience: achieved FLOP/s on one design point."""
+        return float(self.evaluate(profile, config).performance)

@@ -1,0 +1,124 @@
+"""Dynamic resource reconfiguration (Section VI, Table II).
+
+A statically fixed configuration leaves performance on the table when
+applications differ. This module provides:
+
+* :class:`OracleReconfigurator` — Table II's oracle: per kernel, pick
+  the highest-performing feasible configuration (via the DSE), and
+  report the benefit over the static best-mean point.
+* :class:`PhaseReconfigurator` — a runtime-style policy over a phase
+  sequence: observe each phase's ops-per-byte, classify it, and select
+  a configuration from a small palette, paying a reconfiguration
+  overhead per switch. This quantifies how much of the oracle benefit
+  a realistic mechanism keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import DesignSpace, EHPConfig
+from repro.core.dse import explore
+from repro.core.node import NodeModel
+from repro.workloads.kernels import KernelCategory, KernelProfile
+
+__all__ = [
+    "ReconfigDecision",
+    "OracleReconfigurator",
+    "PhaseReconfigurator",
+]
+
+
+@dataclass(frozen=True)
+class ReconfigDecision:
+    """One kernel's reconfiguration outcome."""
+
+    application: str
+    config: EHPConfig
+    benefit_pct: float
+
+
+class OracleReconfigurator:
+    """Per-kernel oracle selection over the full design space."""
+
+    def __init__(
+        self,
+        space: DesignSpace | None = None,
+        model: NodeModel | None = None,
+    ):
+        self.space = space or DesignSpace()
+        self.model = model or NodeModel()
+
+    def decide(self, profiles: Sequence[KernelProfile]) -> list[ReconfigDecision]:
+        """Best configuration and benefit for each profile (Table II)."""
+        result = explore(list(profiles), self.space, self.model)
+        return [
+            ReconfigDecision(
+                application=p.name,
+                config=result.best_config(p.name),
+                benefit_pct=result.benefit_over_mean(p.name),
+            )
+            for p in profiles
+        ]
+
+
+class PhaseReconfigurator:
+    """Greedy runtime policy over application phases.
+
+    The palette holds a few precomputed configurations (e.g., the
+    best-mean point plus per-category optima). Each phase is classified
+    by its profile's category and assigned the palette entry; switching
+    costs ``switch_overhead`` seconds (DVFS relock, power-gate
+    wake-up).
+    """
+
+    def __init__(
+        self,
+        palette: dict[KernelCategory, EHPConfig],
+        fallback: EHPConfig,
+        model: NodeModel | None = None,
+        switch_overhead: float = 250e-6,
+    ):
+        if switch_overhead < 0:
+            raise ValueError("switch_overhead must be non-negative")
+        self.palette = dict(palette)
+        self.fallback = fallback
+        self.model = model or NodeModel()
+        self.switch_overhead = switch_overhead
+
+    def config_for(self, profile: KernelProfile) -> EHPConfig:
+        """Palette entry for a phase (fallback when unclassified)."""
+        return self.palette.get(profile.category, self.fallback)
+
+    def run(self, phases: Sequence[KernelProfile]) -> dict[str, float]:
+        """Execute a phase sequence under the policy vs. the fallback.
+
+        Returns total times and the realized speedup, including switch
+        overheads (a phase sequence that alternates categories pays for
+        every transition).
+        """
+        if not phases:
+            raise ValueError("phase sequence must not be empty")
+        static_time = 0.0
+        dynamic_time = 0.0
+        current: EHPConfig | None = None
+        switches = 0
+        for phase in phases:
+            static_time += float(
+                self.model.evaluate(phase, self.fallback).metrics.time
+            )
+            cfg = self.config_for(phase)
+            if current is not None and cfg != current:
+                dynamic_time += self.switch_overhead
+                switches += 1
+            current = cfg
+            dynamic_time += float(
+                self.model.evaluate(phase, cfg).metrics.time
+            )
+        return {
+            "static_time": static_time,
+            "dynamic_time": dynamic_time,
+            "speedup": static_time / dynamic_time,
+            "switches": float(switches),
+        }

@@ -1,0 +1,111 @@
+"""Figs. 12-13: power-optimization savings and the efficiency payoff.
+
+Fig. 12: per-application node power saved by each Section V-E technique
+alone (NTC, asynchronous CUs, asynchronous routers, low-power links,
+DRAM traffic compression) and by all combined. Paper averages: ~14%,
+4.3%, 3.0%, 1.6%, 1.7%; all together 13-27%.
+
+Fig. 13: performance-per-watt improvement of the re-explored best-mean
+configuration with optimizations (288 CUs / 1100 MHz / 3 TB/s) over the
+unoptimized best-mean (320 / 1000 / 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PAPER_BEST_MEAN, PAPER_BEST_MEAN_OPTIMIZED
+from repro.core.node import NodeModel
+from repro.core.optimizations import (
+    ALL_OPTIMIZATIONS,
+    PowerOptimization,
+    apply_optimizations,
+)
+from repro.experiments.runner import ExperimentResult, all_profiles
+from repro.power.components import PowerParams
+from repro.util.tables import TextTable
+
+__all__ = ["run_fig12", "run_fig13", "OPT_LABELS"]
+
+OPT_LABELS = {
+    PowerOptimization.NTC: "NTC",
+    PowerOptimization.ASYNC_CUS: "Async. CUs",
+    PowerOptimization.ASYNC_ROUTERS: "Async. routers",
+    PowerOptimization.LOW_POWER_LINKS: "Low-power links",
+    PowerOptimization.COMPRESSION: "Compression",
+}
+
+
+def run_fig12(model: NodeModel | None = None) -> ExperimentResult:
+    """Regenerate Fig. 12: % node power saved per optimization."""
+    base_model = model or NodeModel()
+    base_params = base_model.power_params
+    variants: list[tuple[str, PowerParams]] = [
+        (label, apply_optimizations(base_params, {opt}))
+        for opt, label in OPT_LABELS.items()
+    ]
+    variants.append(("All", apply_optimizations(base_params, ALL_OPTIMIZATIONS)))
+
+    cfg = PAPER_BEST_MEAN
+    table = TextTable(["Application"] + [name for name, _ in variants])
+    data: dict[str, dict[str, float]] = {}
+    for profile in all_profiles():
+        baseline = float(
+            base_model.evaluate(
+                profile, cfg, ext_fraction=profile.ext_memory_fraction
+            ).node_power
+        )
+        row: dict[str, float] = {}
+        for name, params in variants:
+            opt_power = float(
+                base_model.with_power_params(params)
+                .evaluate(profile, cfg, ext_fraction=profile.ext_memory_fraction)
+                .node_power
+            )
+            row[name] = (1.0 - opt_power / baseline) * 100.0
+        table.add_row([profile.name] + [row[name] for name, _ in variants])
+        data[profile.name] = row
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Power savings from optimizations",
+        rendered=table.render(),
+        data=data,
+        notes=(
+            "% of total node power saved at the best-mean config; paper "
+            "averages: NTC ~14%, async CUs 4.3%, async routers 3.0%, "
+            "links 1.6%, compression 1.7%; all 13-27%"
+        ),
+    )
+
+
+def run_fig13(model: NodeModel | None = None) -> ExperimentResult:
+    """Regenerate Fig. 13: perf/W gain of the optimized best-mean."""
+    base_model = model or NodeModel()
+    opt_params = apply_optimizations(
+        base_model.power_params, ALL_OPTIMIZATIONS
+    )
+    opt_model = base_model.with_power_params(opt_params)
+    table = TextTable(["Application", "Perf-per-Watt improvement (%)"])
+    data = {}
+    for profile in all_profiles():
+        before = base_model.evaluate(
+            profile, PAPER_BEST_MEAN,
+            ext_fraction=profile.ext_memory_fraction,
+        )
+        after = opt_model.evaluate(
+            profile, PAPER_BEST_MEAN_OPTIMIZED,
+            ext_fraction=profile.ext_memory_fraction,
+        )
+        gain = (
+            float(after.perf_per_watt) / float(before.perf_per_watt) - 1.0
+        ) * 100.0
+        table.add_row([profile.name, gain])
+        data[profile.name] = gain
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Energy-efficiency benefit from optimizations",
+        rendered=table.render(),
+        data=data,
+        notes=(
+            "optimized best-mean (288/1100/3) with all optimizations vs "
+            "unoptimized best-mean (320/1000/3)"
+        ),
+    )

@@ -1,0 +1,22 @@
+"""Table I: the application catalog."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.util.tables import TextTable
+from repro.workloads.catalog import table1_rows
+
+__all__ = ["run_table1"]
+
+
+def run_table1() -> ExperimentResult:
+    """Regenerate Table I's (category, application, description) rows."""
+    table = TextTable(["Category", "Application", "Description"])
+    for category, app, description in table1_rows():
+        table.add_row([category, app, description])
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Application descriptions (Table I)",
+        rendered=table.render(),
+        data={"rows": table1_rows()},
+    )

@@ -1,0 +1,32 @@
+"""HSA-style heterogeneous execution substrate (Section II-A1).
+
+The EHP's programmability story rests on the Heterogeneous System
+Architecture: a unified coherent virtual address space, user-mode task
+queues with doorbell signals, and cheap CPU<->GPU offload in both
+directions. This package models that machinery:
+
+* :mod:`repro.hsa.queues` — user-mode queues, packets, completion
+  signals (the AQL abstractions).
+* :mod:`repro.hsa.offload` — offload cost models (legacy copy-based vs
+  HSA shared virtual memory) and a DAG executor that schedules task
+  graphs across the CPU and GPU agents on the discrete-event engine
+  (the paper's reference [13] pattern).
+"""
+
+from repro.hsa.queues import AqlPacket, CompletionSignal, UserModeQueue
+from repro.hsa.offload import (
+    DagExecutor,
+    OffloadCostModel,
+    Task,
+    TaskGraph,
+)
+
+__all__ = [
+    "AqlPacket",
+    "CompletionSignal",
+    "UserModeQueue",
+    "OffloadCostModel",
+    "Task",
+    "TaskGraph",
+    "DagExecutor",
+]

@@ -1,0 +1,132 @@
+"""User-mode queues, packets and completion signals (HSA/AQL semantics).
+
+HSA lets applications dispatch work by writing an AQL packet into a
+user-mode queue and ringing a doorbell — no kernel-driver round trip.
+Completion is observed through signal objects that any agent can wait
+on or decrement. This module models those objects functionally (packet
+ordering, barrier bits, signal arithmetic) for the offload executor.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["PacketState", "AqlPacket", "CompletionSignal", "UserModeQueue"]
+
+
+class PacketState(enum.Enum):
+    """Lifecycle of a queued packet."""
+
+    QUEUED = "queued"
+    LAUNCHED = "launched"
+    COMPLETE = "complete"
+
+
+@dataclass
+class CompletionSignal:
+    """An HSA signal: an integer any agent may decrement or wait on."""
+
+    value: int = 1
+    _waiters: list[Callable[[], None]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("signal value must be non-negative")
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Invoke *callback* once the signal reaches zero."""
+        if self.value == 0:
+            callback()
+        else:
+            self._waiters.append(callback)
+
+    def decrement(self) -> int:
+        """Signal one completion; fires waiters at zero."""
+        if self.value == 0:
+            raise RuntimeError("signal already at zero")
+        self.value -= 1
+        if self.value == 0:
+            waiters, self._waiters = self._waiters, []
+            for callback in waiters:
+                callback()
+        return self.value
+
+    @property
+    def is_set(self) -> bool:
+        """Has the signal reached zero?"""
+        return self.value == 0
+
+
+@dataclass
+class AqlPacket:
+    """One dispatch packet.
+
+    ``barrier`` packets block the queue until every earlier packet in
+    the same queue completes — HSA's in-queue dependency primitive.
+    """
+
+    name: str
+    work: object = None
+    barrier: bool = False
+    completion: CompletionSignal = field(default_factory=CompletionSignal)
+    state: PacketState = PacketState.QUEUED
+
+
+class UserModeQueue:
+    """A single-producer dispatch queue with barrier-bit semantics.
+
+    ``pop_ready`` returns the next packets eligible to launch: everything
+    up to (but not including) an incomplete barrier; a barrier packet
+    itself launches only once all earlier packets have completed.
+    """
+
+    def __init__(self, name: str, depth: int = 256):
+        if depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.name = name
+        self.depth = depth
+        self._packets: deque[AqlPacket] = deque()
+        self._in_flight: set[str] = set()
+        self.doorbell_rings = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def submit(self, packet: AqlPacket) -> None:
+        """Write a packet and ring the doorbell."""
+        if len(self._packets) >= self.depth:
+            raise RuntimeError(f"queue {self.name} full")
+        self._packets.append(packet)
+        self.doorbell_rings += 1
+
+    def pop_ready(self) -> list[AqlPacket]:
+        """Dequeue every packet eligible to launch right now."""
+        ready: list[AqlPacket] = []
+        while self._packets:
+            head = self._packets[0]
+            if head.barrier and self._in_flight:
+                break
+            self._packets.popleft()
+            head.state = PacketState.LAUNCHED
+            self._in_flight.add(head.name)
+            ready.append(head)
+            if head.barrier:
+                break
+        return ready
+
+    def complete(self, packet: AqlPacket) -> None:
+        """Mark a launched packet complete and fire its signal."""
+        if packet.name not in self._in_flight:
+            raise RuntimeError(f"packet {packet.name} not in flight")
+        self._in_flight.discard(packet.name)
+        packet.state = PacketState.COMPLETE
+        if not packet.completion.is_set:
+            packet.completion.decrement()
+
+    @property
+    def idle(self) -> bool:
+        """No queued or in-flight packets."""
+        return not self._packets and not self._in_flight

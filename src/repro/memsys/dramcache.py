@@ -1,0 +1,134 @@
+"""Hardware DRAM-cache mode for the in-package 3D DRAM (Section II-B3).
+
+The ENA's alternative memory mode treats the 256 GB of in-package DRAM
+as a hardware-managed cache over external memory. The paper notes the
+trade-off: the cached capacity disappears from the addressable space
+(20% of the node's 1.25 TB), so HPC deployments usually prefer the
+software-managed flat mode — but problems that fit in external memory
+alone get a transparent performance uplift.
+
+The model is a set-associative cache with cache-line-grain sectors and
+page-grain allocation, tracked with simple LRU, sized for functional
+behaviour studies rather than cycle accuracy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DramCacheStats", "DramCache"]
+
+
+@dataclass
+class DramCacheStats:
+    """Access counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when empty)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class DramCache:
+    """Set-associative page-grain DRAM cache with LRU replacement.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Cache capacity (the in-package DRAM size in cache mode).
+    page_bytes:
+        Allocation grain; the paper's design space spans cache-line to
+        page granularity — page-grain keeps tag overheads negligible.
+    associativity:
+        Ways per set.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float = 256.0e9,
+        page_bytes: int = 4096,
+        associativity: int = 8,
+    ):
+        if capacity_bytes <= 0 or page_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_frames = int(capacity_bytes // page_bytes)
+        if n_frames < associativity:
+            raise ValueError("capacity too small for one set")
+        self.page_bytes = page_bytes
+        self.associativity = associativity
+        self.n_sets = n_frames // associativity
+        # set index -> OrderedDict of tag -> dirty flag (LRU order).
+        self._sets: dict[int, OrderedDict[int, bool]] = {}
+        self.stats = DramCacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        page = address // self.page_bytes
+        return page % self.n_sets, page // self.n_sets
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Look up one address; returns True on hit.
+
+        Misses allocate (fetching from external memory); LRU victims
+        that are dirty count as writebacks.
+        """
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            ways[tag] = ways[tag] or is_write
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.associativity:
+            _, dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        ways[tag] = is_write
+        return False
+
+    def run_trace(self, addresses, writes=None) -> DramCacheStats:
+        """Stream a whole trace; returns the cumulative statistics."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if writes is None:
+            writes = np.zeros(len(addresses), dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if len(writes) != len(addresses):
+                raise ValueError("writes length must match addresses")
+        for addr, w in zip(addresses.tolist(), writes.tolist()):
+            self.access(addr, w)
+        return self.stats
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently cached."""
+        return sum(len(ways) for ways in self._sets.values())
+
+    def addressable_capacity_loss(self, external_bytes: float) -> float:
+        """Fraction of total node memory hidden by cache mode.
+
+        With 256 GB cached over 1 TB external, 20% of the 1.25 TB
+        address space disappears — the paper's argument for flat mode.
+        """
+        if external_bytes <= 0:
+            raise ValueError("external_bytes must be positive")
+        cache_bytes = self.n_sets * self.associativity * self.page_bytes
+        return cache_bytes / (cache_bytes + external_bytes)

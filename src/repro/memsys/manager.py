@@ -1,0 +1,219 @@
+"""Two-level memory management policies (Section II-B3).
+
+The ENA's primary mode is software-controlled placement: the OS monitors
+page hotness and migrates pages between in-package DRAM and external
+memory to maximize the fraction of requests served in-package. This
+module implements that machinery over synthetic access histograms:
+
+* :class:`FirstTouchPolicy` — pages stay where first allocated
+  (in-package until it fills, then external),
+* :class:`HotnessMigrationPolicy` — periodic epoch-based migration of
+  the hottest pages into in-package DRAM (the HMA-style approach of the
+  paper's reference [27]),
+* :class:`MemoryManager` — bookkeeping, placement queries, migration
+  cost accounting, and the achieved in-package hit fraction that feeds
+  the Fig. 8 performance model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Protocol
+
+import numpy as np
+
+__all__ = [
+    "MemoryLevel",
+    "PagePlacement",
+    "PlacementPolicy",
+    "FirstTouchPolicy",
+    "HotnessMigrationPolicy",
+    "MemoryManager",
+]
+
+PAGE = 4096
+
+
+class MemoryLevel(enum.Enum):
+    """Which level a page lives in."""
+
+    IN_PACKAGE = "in-package"
+    EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class PagePlacement:
+    """Result of one placement epoch."""
+
+    level_of_page: Mapping[int, MemoryLevel]
+    migrated_pages: int
+
+    def in_package_pages(self) -> int:
+        """Pages resident in in-package DRAM."""
+        return sum(
+            1
+            for lvl in self.level_of_page.values()
+            if lvl is MemoryLevel.IN_PACKAGE
+        )
+
+
+class PlacementPolicy(Protocol):
+    """Strategy interface: choose which pages go in-package."""
+
+    def place(
+        self,
+        access_counts: Mapping[int, int],
+        current: Mapping[int, MemoryLevel],
+        capacity_pages: int,
+    ) -> PagePlacement:
+        """Return the next epoch's placement."""
+        ...  # pragma: no cover
+
+
+class FirstTouchPolicy:
+    """Pages keep their initial placement: earliest-allocated pages fill
+    in-package DRAM; later pages spill to external memory. No migration
+    ever happens — the paper's baseline for why management matters."""
+
+    def place(
+        self,
+        access_counts: Mapping[int, int],
+        current: Mapping[int, MemoryLevel],
+        capacity_pages: int,
+    ) -> PagePlacement:
+        placement = dict(current)
+        resident = sum(
+            1 for lvl in placement.values() if lvl is MemoryLevel.IN_PACKAGE
+        )
+        for page in access_counts:
+            if page in placement:
+                continue
+            if resident < capacity_pages:
+                placement[page] = MemoryLevel.IN_PACKAGE
+                resident += 1
+            else:
+                placement[page] = MemoryLevel.EXTERNAL
+        return PagePlacement(level_of_page=placement, migrated_pages=0)
+
+
+class HotnessMigrationPolicy:
+    """Epoch-based hottest-pages-first placement.
+
+    At each epoch the *capacity_pages* most-accessed pages are placed
+    in-package; everything else goes external. ``migration_limit``
+    caps per-epoch movement (migration consumes real bandwidth), so
+    convergence to the ideal placement can take several epochs — the
+    behaviour HMA-style managers exhibit.
+    """
+
+    def __init__(self, migration_limit: int | None = None):
+        if migration_limit is not None and migration_limit < 0:
+            raise ValueError("migration_limit must be non-negative")
+        self.migration_limit = migration_limit
+
+    def place(
+        self,
+        access_counts: Mapping[int, int],
+        current: Mapping[int, MemoryLevel],
+        capacity_pages: int,
+    ) -> PagePlacement:
+        ranked = sorted(
+            access_counts, key=lambda p: access_counts[p], reverse=True
+        )
+        want_in = set(ranked[:capacity_pages])
+        placement = dict(current)
+        for page in access_counts:
+            placement.setdefault(page, MemoryLevel.EXTERNAL)
+
+        to_promote = [
+            p
+            for p in ranked[:capacity_pages]
+            if placement.get(p) is not MemoryLevel.IN_PACKAGE
+        ]
+        if self.migration_limit is not None:
+            to_promote = to_promote[: self.migration_limit]
+
+        resident = {
+            p for p, lvl in placement.items() if lvl is MemoryLevel.IN_PACKAGE
+        }
+        migrated = 0
+        for page in to_promote:
+            if len(resident) >= capacity_pages:
+                # Evict the coldest resident page not in the wanted set.
+                evictable = sorted(
+                    (p for p in resident if p not in want_in),
+                    key=lambda p: access_counts.get(p, 0),
+                )
+                if not evictable:
+                    break
+                victim = evictable[0]
+                placement[victim] = MemoryLevel.EXTERNAL
+                resident.discard(victim)
+            placement[page] = MemoryLevel.IN_PACKAGE
+            resident.add(page)
+            migrated += 1
+        return PagePlacement(level_of_page=placement, migrated_pages=migrated)
+
+
+class MemoryManager:
+    """Drives a placement policy over access epochs and reports the
+    achieved in-package service fraction."""
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        policy: PlacementPolicy,
+        page_size: int = PAGE,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.capacity_pages = int(capacity_bytes // page_size)
+        self.page_size = page_size
+        self.policy = policy
+        self.placement: dict[int, MemoryLevel] = {}
+        self.total_migrated = 0
+
+    def epoch(self, addresses: np.ndarray) -> float:
+        """Process one epoch of accesses; returns the fraction of them
+        served in-package *under the placement in force during the
+        epoch* (migration takes effect for the next epoch)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return 1.0
+        pages = addresses // self.page_size
+        unique, counts = np.unique(pages, return_counts=True)
+        access_counts = dict(zip(unique.tolist(), counts.tolist()))
+
+        served_in = sum(
+            int(c)
+            for p, c in access_counts.items()
+            if self.placement.get(p) is MemoryLevel.IN_PACKAGE
+        )
+        hit_fraction = served_in / int(counts.sum())
+
+        result = self.policy.place(
+            access_counts, self.placement, self.capacity_pages
+        )
+        self.placement = dict(result.level_of_page)
+        self.total_migrated += result.migrated_pages
+        return hit_fraction
+
+    def run(self, epochs: list[np.ndarray]) -> list[float]:
+        """Process several epochs; returns per-epoch in-package fractions."""
+        return [self.epoch(e) for e in epochs]
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently in in-package DRAM."""
+        return sum(
+            1
+            for lvl in self.placement.values()
+            if lvl is MemoryLevel.IN_PACKAGE
+        )
+
+    def migration_traffic_bytes(self) -> float:
+        """Total bytes moved by migrations so far."""
+        return float(self.total_migrated * self.page_size)

@@ -1,0 +1,103 @@
+"""Row-buffer locality simulation for the HBM stacks.
+
+The HBM service model (:class:`repro.memsys.dram.HBMStack`) needs a
+row-buffer hit rate; this module measures one from an address stream.
+Each bank holds one open row (open-page policy); an access to the open
+row is a row hit, anything else closes and opens (row miss). Bank and
+row mapping follow the standard address split.
+
+Used by the trace-driven simulator and the memory-management ablation to
+ground the analytic model's latency inputs in trace behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RowBufferSim", "RowBufferStats"]
+
+
+@dataclass
+class RowBufferStats:
+    """Accumulated row-buffer outcomes."""
+
+    hits: int = 0
+    misses: int = 0
+    bank_conflicts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total simulated accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Row-buffer hit rate (0.0 when empty)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class RowBufferSim:
+    """Open-page row-buffer tracker across the stack's banks.
+
+    Parameters
+    ----------
+    n_banks:
+        Banks in the stack (HBM: 16 per channel x 8 channels = 128).
+    row_bytes:
+        Row (page) size per bank.
+    channel_interleave_bytes:
+        Consecutive-address stride mapped to the same bank before
+        rotating; smaller values spread streams across banks faster.
+    """
+
+    def __init__(
+        self,
+        n_banks: int = 128,
+        row_bytes: int = 1024,
+        channel_interleave_bytes: int = 256,
+    ):
+        if n_banks <= 0 or row_bytes <= 0 or channel_interleave_bytes <= 0:
+            raise ValueError("geometry must be positive")
+        self.n_banks = n_banks
+        self.row_bytes = row_bytes
+        self.interleave = channel_interleave_bytes
+        self._open_row = np.full(n_banks, -1, dtype=np.int64)
+        self._last_bank = -1
+        self.stats = RowBufferStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        block = address // self.interleave
+        bank = int(block % self.n_banks)
+        row = int(address // (self.row_bytes * self.n_banks))
+        return bank, row
+
+    def access(self, address: int) -> bool:
+        """Simulate one access; returns True on a row hit."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        bank, row = self._locate(address)
+        hit = self._open_row[bank] == row
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            if self._open_row[bank] >= 0 and self._last_bank == bank:
+                self.stats.bank_conflicts += 1
+            self._open_row[bank] = row
+        self._last_bank = bank
+        return bool(hit)
+
+    def run(self, addresses) -> RowBufferStats:
+        """Stream an address array; returns cumulative statistics."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        for addr in addresses.tolist():
+            self.access(addr)
+        return self.stats
+
+    def reset(self) -> None:
+        """Close all rows and zero statistics."""
+        self._open_row.fill(-1)
+        self._last_bank = -1
+        self.stats = RowBufferStats()

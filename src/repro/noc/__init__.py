@@ -1,0 +1,32 @@
+"""Chiplet and interposer network-on-chip substrate.
+
+Models the EHP's physical organization (Section II-A, Fig. 2): two CPU
+clusters of four chiplets each on active interposers, flanked by four GPU
+clusters of two chiplets each, a DRAM stack atop every GPU chiplet, and
+wide point-to-point paths between interposers. Provides:
+
+* :mod:`repro.noc.topology` — the chiplet/interposer graph,
+* :mod:`repro.noc.routing` — hop counts and latency accounting (TSV hops
+  up/down plus interposer traversal),
+* :mod:`repro.noc.traffic` — traffic matrices and out-of-chiplet traffic
+  fractions (Fig. 7's first finding),
+* :mod:`repro.noc.simulator` — a small event-driven network simulator
+  used to cross-check contention behaviour.
+"""
+
+from repro.noc.topology import EHPTopology, NodeKind
+from repro.noc.routing import Route, hop_latency, route
+from repro.noc.traffic import TrafficMatrix, chiplet_traffic_summary
+from repro.noc.simulator import NocSimulator, SimMessage
+
+__all__ = [
+    "EHPTopology",
+    "NodeKind",
+    "Route",
+    "route",
+    "hop_latency",
+    "TrafficMatrix",
+    "chiplet_traffic_summary",
+    "NocSimulator",
+    "SimMessage",
+]

@@ -1,0 +1,81 @@
+"""Routing and latency accounting over the EHP topology.
+
+Messages route along shortest latency-weighted paths. An out-of-chiplet
+message pays the Section V-A structure: TSV down to the source
+interposer, zero or more interposer-to-interposer traversals, TSV up into
+the destination chiplet. A GPU's access to its own stacked DRAM pays only
+the 3D-stack hop — the physical reason the paper stacks memory directly
+on the compute die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.noc.topology import EHPTopology
+
+__all__ = ["Route", "route", "hop_latency", "monolithic_latency"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved path through the package."""
+
+    nodes: tuple[str, ...]
+    latency: float
+    tsv_hops: int
+    interposer_hops: int
+
+    @property
+    def n_hops(self) -> int:
+        """Total link traversals."""
+        return len(self.nodes) - 1
+
+    @property
+    def crosses_chiplet(self) -> bool:
+        """Did the message leave its source chiplet's vertical stack?"""
+        return self.interposer_hops > 0 or self.tsv_hops > 0
+
+
+def route(topology: EHPTopology, src: str, dst: str) -> Route:
+    """Shortest latency-weighted route from *src* to *dst*."""
+    if src not in topology.graph or dst not in topology.graph:
+        raise KeyError(f"unknown endpoint: {src!r} or {dst!r}")
+    path = nx.shortest_path(topology.graph, src, dst, weight="latency")
+    latency = 0.0
+    tsv_hops = 0
+    interposer_hops = 0
+    for a, b in zip(path, path[1:]):
+        edge = topology.graph.edges[a, b]
+        latency += edge["latency"]
+        if edge["kind"] == "tsv":
+            tsv_hops += 1
+        elif edge["kind"] == "interposer-interposer":
+            interposer_hops += 1
+    return Route(
+        nodes=tuple(path),
+        latency=latency,
+        tsv_hops=tsv_hops,
+        interposer_hops=interposer_hops,
+    )
+
+
+def hop_latency(topology: EHPTopology, src: str, dst: str) -> float:
+    """Just the latency of the shortest route."""
+    return route(topology, src, dst).latency
+
+
+def monolithic_latency(topology: EHPTopology, src: str, dst: str) -> float:
+    """Latency the same message would see on a hypothetical monolithic
+    EHP: the chiplet route minus the two TSV hops (Section V-A's
+    comparison baseline — on one huge die, the vertical chiplet
+    crossings disappear but the lateral distance remains)."""
+    r = route(topology, src, dst)
+    tsv_edges = [
+        topology.graph.edges[a, b]["latency"]
+        for a, b in zip(r.nodes, r.nodes[1:])
+        if topology.graph.edges[a, b]["kind"] == "tsv"
+    ]
+    return r.latency - sum(tsv_edges)

@@ -1,0 +1,162 @@
+"""Event-driven NoC simulator.
+
+A small discrete-event network simulator over the EHP topology, used to
+cross-check the analytic contention model: messages serialize over each
+link at the link's bandwidth, queueing behind earlier arrivals, so
+latency grows with offered load exactly the way the analytic model's
+bounded queueing term approximates.
+
+This is deliberately flit-free (store-and-forward per message): the goal
+is first-order contention behaviour across a wide design space, matching
+the paper's choice of high-level simulation over cycle-level detail.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.noc.routing import route
+from repro.noc.topology import EHPTopology
+
+__all__ = ["SimMessage", "LinkStats", "NocSimulator"]
+
+
+@dataclass(frozen=True)
+class SimMessage:
+    """One injected message."""
+
+    src: str
+    dst: str
+    size_bytes: float
+    inject_time: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.inject_time < 0:
+            raise ValueError("inject_time must be non-negative")
+
+
+@dataclass
+class LinkStats:
+    """Accumulated per-link occupancy."""
+
+    busy_until: float = 0.0
+    bytes_carried: float = 0.0
+    messages: int = 0
+
+
+@dataclass
+class SimResult:
+    """Aggregate simulation outcome."""
+
+    delivered: int
+    makespan: float
+    total_bytes: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end message latency, seconds."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile latency, seconds."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    @property
+    def throughput(self) -> float:
+        """Delivered bytes per second over the makespan."""
+        if self.makespan == 0:
+            return 0.0
+        return self.total_bytes / self.makespan
+
+
+class NocSimulator:
+    """Store-and-forward message simulator over the EHP topology.
+
+    Parameters
+    ----------
+    topology:
+        The package graph; defaults to the standard EHP build.
+    link_bandwidth:
+        Bytes/s each link can carry (wide in-package paths).
+    """
+
+    def __init__(
+        self,
+        topology: EHPTopology | None = None,
+        link_bandwidth: float = 512.0e9,
+    ):
+        if link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        self.topology = topology or EHPTopology()
+        self.link_bandwidth = link_bandwidth
+        self._route_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+
+    def _path(self, src: str, dst: str) -> tuple[str, ...]:
+        key = (src, dst)
+        if key not in self._route_cache:
+            self._route_cache[key] = route(self.topology, src, dst).nodes
+        return self._route_cache[key]
+
+    def run(self, messages: list[SimMessage]) -> SimResult:
+        """Deliver *messages*, honouring per-link serialization.
+
+        Each message claims every link of its path in order; a link busy
+        with an earlier message delays it (FCFS per link). Returns
+        aggregate latency/throughput statistics.
+        """
+        if not messages:
+            return SimResult(delivered=0, makespan=0.0, total_bytes=0.0)
+        links: dict[frozenset, LinkStats] = {}
+        counter = itertools.count()
+        heap: list[tuple[float, int, SimMessage]] = []
+        for m in messages:
+            heapq.heappush(heap, (m.inject_time, next(counter), m))
+
+        latencies: list[float] = []
+        makespan = 0.0
+        total_bytes = 0.0
+        while heap:
+            now, _, msg = heapq.heappop(heap)
+            path = self._path(msg.src, msg.dst)
+            t = now
+            for a, b in zip(path, path[1:]):
+                edge = self.topology.graph.edges[a, b]
+                link = links.setdefault(frozenset((a, b)), LinkStats())
+                start = max(t, link.busy_until)
+                serialize = msg.size_bytes / self.link_bandwidth
+                done = start + serialize + edge["latency"]
+                link.busy_until = start + serialize
+                link.bytes_carried += msg.size_bytes
+                link.messages += 1
+                t = done
+            latencies.append(t - msg.inject_time)
+            makespan = max(makespan, t)
+            total_bytes += msg.size_bytes
+
+        self.links = links
+        return SimResult(
+            delivered=len(messages),
+            makespan=makespan,
+            total_bytes=total_bytes,
+            latencies=latencies,
+        )
+
+    def link_utilization(self, makespan: float) -> dict[frozenset, float]:
+        """Per-link busy fraction over *makespan* (after :meth:`run`)."""
+        if makespan <= 0:
+            raise ValueError("makespan must be positive")
+        return {
+            k: min(1.0, s.bytes_carried / self.link_bandwidth / makespan)
+            for k, s in getattr(self, "links", {}).items()
+        }

@@ -1,0 +1,37 @@
+"""Analytic performance models.
+
+This package is the reproduction of the paper's high-level simulator
+(Section III): an extended roofline model with latency-hiding, cache
+thrashing and bandwidth-contention terms for GPU kernels
+(:mod:`repro.perfmodel.roofline`), a leading-loads CPU model
+(:mod:`repro.perfmodel.cpu`), and the multi-level-memory blending model used
+for the in-package miss-rate study (:mod:`repro.perfmodel.mlm`).
+
+All model entry points are numpy-vectorized over hardware configurations so
+the design-space exploration can evaluate the paper's >1000-point grid in a
+single call.
+"""
+
+from repro.perfmodel.machine import MachineParams
+from repro.perfmodel.roofline import KernelMetrics, evaluate_kernel, kernel_time
+from repro.perfmodel.mlm import blended_memory_time, miss_rate_sweep
+from repro.perfmodel.cpu import CpuParams, leading_loads_time
+from repro.perfmodel.diagnosis import Bound, BoundDiagnosis, diagnose
+from repro.perfmodel.apu import ApuApplicationModel, MixedApplication, OrganizationResult
+
+__all__ = [
+    "MachineParams",
+    "KernelMetrics",
+    "evaluate_kernel",
+    "kernel_time",
+    "blended_memory_time",
+    "miss_rate_sweep",
+    "CpuParams",
+    "leading_loads_time",
+    "Bound",
+    "BoundDiagnosis",
+    "diagnose",
+    "ApuApplicationModel",
+    "MixedApplication",
+    "OrganizationResult",
+]

@@ -1,0 +1,190 @@
+"""Combined CPU+GPU application model — the APU argument itself.
+
+Section II-A1's motivation: scientific applications mix serial/irregular
+regions (best on latency-optimized CPU cores) with massively parallel
+regions (best on GPU CUs), so a tightly integrated APU beats either a
+CPU-only node or a discrete CPU+GPU pair that pays offload costs on
+every region transition.
+
+:class:`ApuApplicationModel` composes the existing pieces: the
+leading-loads CPU model for the serial region, the roofline GPU model
+for the parallel region, and the HSA offload cost model for the
+transitions — and evaluates the three node organizations the APU
+argument compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EHPConfig
+from repro.perfmodel.cpu import CpuParams, leading_loads_time
+from repro.perfmodel.machine import MachineParams
+from repro.perfmodel.roofline import evaluate_kernel
+from repro.hsa.offload import OffloadCostModel
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["MixedApplication", "OrganizationResult", "ApuApplicationModel"]
+
+
+@dataclass(frozen=True)
+class MixedApplication:
+    """An application with serial and parallel regions.
+
+    ``serial_fraction`` is the share of total *work* (flops) that is
+    serial and CPU-resident; the parallel remainder runs the given GPU
+    kernel profile. Because one CPU core retires ~four orders of
+    magnitude fewer flops per second than the full GPU, even a 1e-4
+    flop share is a visible Amdahl term — which is exactly the paper's
+    argument for keeping strong CPU cores on the package.
+    ``region_alternations`` counts serial<->parallel transitions (each
+    one is an offload boundary), and ``bytes_per_offload`` the data a
+    copy-based design would stage.
+    """
+
+    name: str
+    profile: KernelProfile
+    serial_fraction: float = 1.0e-4
+    region_alternations: int = 100
+    bytes_per_offload: float = 256.0e6
+    cpu: CpuParams = CpuParams()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        if self.region_alternations < 0:
+            raise ValueError("region_alternations must be non-negative")
+        if self.bytes_per_offload < 0:
+            raise ValueError("bytes_per_offload must be non-negative")
+
+
+@dataclass(frozen=True)
+class OrganizationResult:
+    """One node organization's predicted execution breakdown."""
+
+    organization: str
+    total_time: float
+    serial_time: float
+    parallel_time: float
+    offload_time: float
+
+    @property
+    def offload_share(self) -> float:
+        """Fraction of runtime spent on offload boundaries."""
+        return self.offload_time / self.total_time if self.total_time else 0.0
+
+
+class ApuApplicationModel:
+    """Evaluates a mixed application on three node organizations.
+
+    * ``cpu-only`` — everything on the CPU cores (the parallel region
+      gets the cores' aggregate throughput, a tiny fraction of the
+      GPU's).
+    * ``discrete`` — CPU + discrete GPU over an interface: full GPU
+      speed on parallel regions, but every region transition pays the
+      legacy copy-based offload cost.
+    * ``apu`` — the EHP: same GPU speed, HSA-style transitions in the
+      unified address space.
+    """
+
+    def __init__(
+        self,
+        config: EHPConfig | None = None,
+        machine: MachineParams | None = None,
+        offload: OffloadCostModel | None = None,
+        cpu_parallel_flops: float = 1.0e12,
+        cpu_bandwidth: float = 0.3e12,
+    ):
+        if cpu_parallel_flops <= 0:
+            raise ValueError("cpu_parallel_flops must be positive")
+        if cpu_bandwidth <= 0:
+            raise ValueError("cpu_bandwidth must be positive")
+        self.config = config or EHPConfig()
+        self.machine = machine or MachineParams()
+        self.offload = offload or OffloadCostModel()
+        # 32 cores x SIMD: ~1 TF aggregate, ~5% of the GPU's throughput,
+        # behind a DDR-class memory system (~0.3 TB/s).
+        self.cpu_parallel_flops = cpu_parallel_flops
+        self.cpu_bandwidth = cpu_bandwidth
+
+    # ------------------------------------------------------------------
+    def _serial_time(self, app: MixedApplication) -> float:
+        """Serial-region time on one CPU core (leading-loads model)."""
+        serial_flops = app.profile.flops * app.serial_fraction
+        # Scale the measured decomposition to this work size.
+        base_time = float(leading_loads_time(app.cpu, app.cpu.ref_freq))
+        base_flops = app.cpu.core_cycles  # ~1 flop/cycle serial IPC
+        return base_time * serial_flops / base_flops
+
+    def _parallel_time_gpu(self, app: MixedApplication) -> float:
+        parallel = app.profile.with_overrides(
+            flops=app.profile.flops * (1.0 - app.serial_fraction)
+        )
+        metrics = evaluate_kernel(
+            parallel,
+            self.config.n_cus,
+            self.config.gpu_freq,
+            self.config.bandwidth,
+            machine=self.machine,
+        )
+        return float(metrics.time)
+
+    def _parallel_time_cpu(self, app: MixedApplication) -> float:
+        parallel_flops = app.profile.flops * (1.0 - app.serial_fraction)
+        t_compute = parallel_flops / self.cpu_parallel_flops
+        # The CPU-only node sits behind a DDR-class memory system; its
+        # roofline is the same max(compute, bandwidth) shape.
+        traffic = (
+            parallel_flops
+            * app.profile.bytes_per_flop
+            * (1.0 - app.profile.cache_hit_rate)
+        )
+        t_memory = traffic / self.cpu_bandwidth
+        return max(t_compute, t_memory)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, app: MixedApplication, organization: str) -> OrganizationResult:
+        """Predict *app*'s execution on one organization."""
+        serial = self._serial_time(app)
+        if organization == "cpu-only":
+            return OrganizationResult(
+                organization=organization,
+                total_time=serial + self._parallel_time_cpu(app),
+                serial_time=serial,
+                parallel_time=self._parallel_time_cpu(app),
+                offload_time=0.0,
+            )
+        parallel = self._parallel_time_gpu(app)
+        if organization == "discrete":
+            per_boundary = self.offload.legacy_dispatch_cost(
+                app.bytes_per_offload
+            )
+        elif organization == "apu":
+            per_boundary = self.offload.hsa_dispatch_cost()
+        else:
+            raise ValueError(f"unknown organization {organization!r}")
+        offload = per_boundary * app.region_alternations
+        return OrganizationResult(
+            organization=organization,
+            total_time=serial + parallel + offload,
+            serial_time=serial,
+            parallel_time=parallel,
+            offload_time=offload,
+        )
+
+    def compare(self, app: MixedApplication) -> dict[str, OrganizationResult]:
+        """All three organizations, keyed by name."""
+        return {
+            org: self.evaluate(app, org)
+            for org in ("cpu-only", "discrete", "apu")
+        }
+
+    def apu_speedup(self, app: MixedApplication) -> dict[str, float]:
+        """APU speedup over each alternative organization."""
+        results = self.compare(app)
+        apu = results["apu"].total_time
+        return {
+            org: r.total_time / apu
+            for org, r in results.items()
+            if org != "apu"
+        }

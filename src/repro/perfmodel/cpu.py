@@ -1,0 +1,64 @@
+"""Leading-loads CPU performance model.
+
+The paper's high-level simulator uses an analytic CPU scaling model based on
+the *leading loads* decomposition (Su et al., USENIX ATC'14, the paper's
+reference [39]): execution time splits into a frequency-scaled core
+component and a frequency-invariant memory component measured through the
+latency of "leading" (first-in-burst) off-core loads. The EHP's 32 CPU
+cores run the serial and irregular sections; this model lets the node
+simulator account for them when a workload is not purely GPU-resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CpuParams", "leading_loads_time", "dvfs_speedup"]
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """One CPU core's measured decomposition at a reference frequency.
+
+    Attributes
+    ----------
+    ref_freq:
+        Frequency at which the decomposition was measured, Hz.
+    core_cycles:
+        Cycles spent in frequency-scaled work (compute, cache hits).
+    leading_load_time:
+        Seconds of frequency-invariant stall attributed to leading loads
+        (main-memory latency), at the reference frequency.
+    """
+
+    ref_freq: float = 2.0e9
+    core_cycles: float = 2.0e9
+    leading_load_time: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.ref_freq <= 0:
+            raise ValueError("ref_freq must be positive")
+        if self.core_cycles < 0 or self.leading_load_time < 0:
+            raise ValueError("time components must be non-negative")
+
+
+def leading_loads_time(params: CpuParams, freq) -> np.ndarray:
+    """Predicted execution time at *freq* (Hz; scalar or array).
+
+    ``t(f) = core_cycles / f + leading_load_time`` — the defining property
+    of the leading-loads predictor: core time scales inversely with
+    frequency, memory time does not.
+    """
+    freq = np.asarray(freq, dtype=float)
+    if np.any(freq <= 0):
+        raise ValueError("freq must be positive")
+    return params.core_cycles / freq + params.leading_load_time
+
+
+def dvfs_speedup(params: CpuParams, freq_from: float, freq_to: float) -> float:
+    """Speedup of moving one core from *freq_from* to *freq_to*."""
+    t_from = float(leading_loads_time(params, freq_from))
+    t_to = float(leading_loads_time(params, freq_to))
+    return t_from / t_to

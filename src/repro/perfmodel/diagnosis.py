@@ -1,0 +1,92 @@
+"""Bound diagnosis: which roof binds a kernel at a configuration.
+
+The Section IV characterization asks, per kernel and hardware point:
+is it compute-bound, bandwidth-bound, or latency-bound — and how close
+is the knee? :func:`diagnose` answers from the same model terms the
+evaluation uses, so the classification is exactly consistent with the
+performance numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import MachineParams
+from repro.perfmodel.roofline import evaluate_kernel
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["Bound", "BoundDiagnosis", "diagnose"]
+
+
+class Bound(enum.Enum):
+    """Which model roof dominates execution time."""
+
+    COMPUTE = "compute"
+    BANDWIDTH = "bandwidth"
+    LATENCY = "latency"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class BoundDiagnosis:
+    """The binding roof and the margins to the others."""
+
+    bound: Bound
+    compute_share: float
+    bandwidth_share: float
+    latency_share: float
+    balance_ratio: float
+
+    def is_balanced(self, tolerance: float = 0.35) -> bool:
+        """Within *tolerance* of the compute/memory knee?
+
+        ``balance_ratio`` is min(compute, memory) / max(compute, memory)
+        of the two time components; 1.0 is the exact knee.
+        """
+        return self.balance_ratio >= 1.0 - tolerance
+
+
+def diagnose(
+    profile: KernelProfile,
+    n_cus: float,
+    freq: float,
+    bandwidth: float,
+    machine: MachineParams | None = None,
+) -> BoundDiagnosis:
+    """Classify *profile* at one configuration.
+
+    Shares are each component's fraction of the sum of the three raw
+    time components (before the smooth-max overlap), so they always add
+    to 1 and expose *how dominant* the binding roof is.
+    """
+    machine = machine or MachineParams()
+    metrics = evaluate_kernel(
+        profile, n_cus, freq, bandwidth, machine=machine
+    )
+    t_compute = float(metrics.compute_time)
+    # Decompose the memory component: pure bandwidth service time vs the
+    # exposed-latency bound it was smooth-maxed with.
+    t_bw = float(metrics.dram_traffic) / float(bandwidth)
+    t_latency = max(0.0, float(metrics.memory_time) - t_bw)
+    total = t_compute + t_bw + t_latency
+    if total <= 0:
+        raise ValueError("degenerate kernel timing")
+    shares = {
+        Bound.COMPUTE: t_compute / total,
+        Bound.BANDWIDTH: t_bw / total,
+        Bound.LATENCY: t_latency / total,
+    }
+    bound = max(shares, key=shares.get)
+    t_memory = float(metrics.memory_time)
+    hi = max(t_compute, t_memory)
+    lo = min(t_compute, t_memory)
+    return BoundDiagnosis(
+        bound=bound,
+        compute_share=shares[Bound.COMPUTE],
+        bandwidth_share=shares[Bound.BANDWIDTH],
+        latency_share=shares[Bound.LATENCY],
+        balance_ratio=lo / hi if hi > 0 else 1.0,
+    )

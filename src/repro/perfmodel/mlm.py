@@ -1,0 +1,71 @@
+"""Multi-level-memory blending model (Fig. 8 substrate).
+
+The ENA's memory has (at least) two levels: in-package 3D DRAM and the
+external memory network. The paper studies how performance degrades as a
+growing fraction of requests "miss" in-package memory and must be served
+externally (Section V-B). This module provides the sweep helper the Fig. 8
+experiment and the memory manager's cost model both use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.perfmodel.machine import MachineParams
+from repro.perfmodel.roofline import evaluate_kernel
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["blended_memory_time", "miss_rate_sweep"]
+
+
+def blended_memory_time(
+    traffic_bytes: float,
+    miss_fraction: float,
+    in_package_bw: float,
+    machine: MachineParams | None = None,
+) -> float:
+    """Service time for *traffic_bytes* split across the two memory levels.
+
+    A *miss_fraction* of the traffic is served by the external network at
+    its (much lower) aggregate bandwidth; the rest by in-package DRAM.
+    Ignores latency exposure — used by the memory manager as a bandwidth
+    cost model when ranking page placements.
+    """
+    if not 0.0 <= miss_fraction <= 1.0:
+        raise ValueError("miss_fraction must be in [0, 1]")
+    if traffic_bytes < 0:
+        raise ValueError("traffic_bytes must be non-negative")
+    if in_package_bw <= 0:
+        raise ValueError("in_package_bw must be positive")
+    machine = machine or MachineParams()
+    in_time = traffic_bytes * (1.0 - miss_fraction) / in_package_bw
+    ext_time = traffic_bytes * miss_fraction / machine.ext_bandwidth
+    return in_time + ext_time
+
+
+def miss_rate_sweep(
+    profile: KernelProfile,
+    n_cus: float,
+    freq: float,
+    bandwidth: float,
+    miss_rates: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    machine: MachineParams | None = None,
+) -> np.ndarray:
+    """Performance at each in-package miss rate, normalized to no misses.
+
+    Reproduces one application's bar group of Fig. 8: index ``i`` is the
+    kernel's throughput at ``miss_rates[i]`` divided by its throughput when
+    every request is served in-package.
+    """
+    rates = np.asarray(miss_rates, dtype=float)
+    if np.any(rates < 0) or np.any(rates > 1):
+        raise ValueError("miss rates must be in [0, 1]")
+    metrics = evaluate_kernel(
+        profile, n_cus, freq, bandwidth, ext_fraction=rates, machine=machine
+    )
+    baseline = evaluate_kernel(
+        profile, n_cus, freq, bandwidth, ext_fraction=0.0, machine=machine
+    )
+    return np.asarray(baseline.time / metrics.time, dtype=float)

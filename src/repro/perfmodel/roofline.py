@@ -1,0 +1,287 @@
+"""Extended roofline model for GPU kernels.
+
+This is the core of the reproduction's high-level simulator. Given a
+:class:`~repro.workloads.kernels.KernelProfile` and one or more hardware
+configurations ``(n_cus, freq, bandwidth)``, it estimates kernel execution
+time and the traffic/activity rates the power and thermal models consume.
+
+The model composes four effects the paper's Section IV curves exhibit:
+
+1. **Compute bound** — throughput scales as ``issue_efficiency *
+   flops_per_cu_cycle * freq * n_cus**parallel_fraction`` (sub-linear CU
+   scaling models serialization and divergence).
+2. **Cache thrashing** — the LLC hit rate decays as aggregate concurrency
+   (``n_cus * freq`` relative to the reference machine) grows, so DRAM
+   traffic *increases* with compute capability for thrash-prone kernels.
+   This produces the rise-then-fall curves of memory-intensive kernels
+   (Fig. 6) and the plateaus of balanced ones (Fig. 5).
+3. **Bandwidth bound with contention** — DRAM service time is traffic over
+   bandwidth, and the effective memory latency grows (bounded queueing
+   term) as utilization approaches 1.
+4. **Latency bound** — by Little's law, ``n_cus * mlp_per_cu`` outstanding
+   misses over the loaded latency caps throughput; the profile's
+   ``latency_sensitivity`` sets how much of that latency is on the
+   dependence-critical path (irregular kernels like LULESH).
+
+Compute and memory time combine through a smooth max: GPUs overlap the two
+almost perfectly, and measured scaling curves show soft knees.
+
+All arithmetic is numpy-broadcast, so any of the three hardware axes may be
+an array; scalars in, scalars out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.machine import MachineParams
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["KernelMetrics", "evaluate_kernel", "kernel_time", "smooth_max_array"]
+
+
+def smooth_max_array(a: np.ndarray, b: np.ndarray, sharpness: float) -> np.ndarray:
+    """Element-wise smooth maximum (scale-invariant log-sum-exp).
+
+    Equals ``max(a, b)`` up to a ``log(2)/sharpness`` relative overshoot at
+    ``a == b`` and converges to the hard max away from the knee.
+    """
+    if sharpness <= 0:
+        raise ValueError("sharpness must be positive")
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    m = np.maximum(a, b)
+    safe_m = np.where(m > 0, m, 1.0)
+    ea = np.exp(sharpness * (a - m) / safe_m)
+    eb = np.exp(sharpness * (b - m) / safe_m)
+    out = m + (safe_m / sharpness) * np.log(ea + eb)
+    return np.where(m > 0, out, m)
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Vectorized outputs of one kernel evaluation.
+
+    Every field broadcasts to the shape of the input configuration arrays.
+    Rates are averages over the kernel's execution.
+    """
+
+    time: np.ndarray
+    """Kernel execution time, seconds."""
+
+    flops_rate: np.ndarray
+    """Achieved floating-point throughput, FLOP/s."""
+
+    compute_time: np.ndarray
+    """Pure compute-bound time component, seconds."""
+
+    memory_time: np.ndarray
+    """Memory-bound time component (bandwidth/latency), seconds."""
+
+    dram_traffic: np.ndarray
+    """Bytes moved to/from in-package DRAM over the kernel."""
+
+    ext_traffic: np.ndarray
+    """Bytes moved to/from external memory over the kernel."""
+
+    llc_traffic: np.ndarray
+    """Bytes requested at the LLC level (before cache filtering)."""
+
+    hit_rate: np.ndarray
+    """Effective LLC hit rate after thrashing."""
+
+    bw_utilization: np.ndarray
+    """In-package DRAM bandwidth utilization in [0, 1]."""
+
+    cu_busy_fraction: np.ndarray
+    """Fraction of time CUs are actively issuing (compute-bound share)."""
+
+    @property
+    def dram_rate(self) -> np.ndarray:
+        """Average in-package DRAM bandwidth demand, B/s."""
+        return self.dram_traffic / self.time
+
+    @property
+    def ext_rate(self) -> np.ndarray:
+        """Average external-memory bandwidth demand, B/s."""
+        return self.ext_traffic / self.time
+
+    @property
+    def llc_rate(self) -> np.ndarray:
+        """Average LLC-level request bandwidth, B/s."""
+        return self.llc_traffic / self.time
+
+
+def _effective_hit_rate(
+    profile: KernelProfile,
+    n_cus: np.ndarray,
+    freq: np.ndarray,
+    machine: MachineParams,
+) -> np.ndarray:
+    """LLC hit rate after concurrency-driven thrashing.
+
+    Pressure is the number of concurrently resident wavefront working
+    sets — proportional to CU count relative to the reference machine
+    (256 CUs), *not* to frequency: running the same CUs faster reissues
+    the same footprint sooner, while adding CUs adds new working sets
+    that compete for LLC capacity. (Frequency-driven degradation enters
+    through the bandwidth-contention term instead, matching the paper's
+    Section IV description of the two effects.) ``thrash_pressure == 0``
+    keeps the hit rate flat; positive values shrink effective cache
+    capacity as pressure grows.
+    """
+    del freq  # thrashing is capacity pressure, not rate pressure
+    pressure = n_cus / machine.reference_cus
+    decay = 1.0 + profile.thrash_pressure * pressure**machine.thrash_exponent
+    return profile.cache_hit_rate / decay
+
+
+def evaluate_kernel(
+    profile: KernelProfile,
+    n_cus,
+    freq,
+    bandwidth,
+    *,
+    ext_fraction=None,
+    machine: MachineParams | None = None,
+    extra_latency: float = 0.0,
+) -> KernelMetrics:
+    """Evaluate *profile* on hardware configuration(s).
+
+    Parameters
+    ----------
+    n_cus, freq, bandwidth:
+        Scalars or broadcastable arrays: CU count, GPU frequency (Hz),
+        in-package DRAM bandwidth (B/s).
+    ext_fraction:
+        Fraction of DRAM traffic served by external memory. ``None``
+        (default) evaluates the all-in-package scenario the paper's
+        Figs. 4-6 and design-space exploration use; Fig. 8 sweeps this
+        explicitly; the power study (Fig. 9) uses the profile's measured
+        ``ext_memory_fraction``.
+    machine:
+        Technology constants; defaults to :class:`MachineParams`.
+    extra_latency:
+        Additional per-access latency in seconds (e.g., the chiplet
+        organization's two TSV hops in the Fig. 7 study).
+
+    Returns
+    -------
+    KernelMetrics
+        Vectorized timing, traffic, and activity results.
+    """
+    machine = machine or MachineParams()
+    n_cus = np.asarray(n_cus, dtype=float)
+    freq = np.asarray(freq, dtype=float)
+    bandwidth = np.asarray(bandwidth, dtype=float)
+    if np.any(n_cus <= 0) or np.any(freq <= 0) or np.any(bandwidth <= 0):
+        raise ValueError("n_cus, freq and bandwidth must be positive")
+    if ext_fraction is None:
+        ext_fraction = 0.0
+    m_ext = np.asarray(ext_fraction, dtype=float)
+    if np.any(m_ext < 0) or np.any(m_ext > 1):
+        raise ValueError("ext_fraction must be in [0, 1]")
+
+    # --- compute bound ---------------------------------------------------
+    cu_scaling = machine.reference_cus * (
+        n_cus / machine.reference_cus
+    ) ** profile.parallel_fraction
+    compute_rate = (
+        profile.issue_efficiency
+        * machine.flops_per_cu_cycle
+        * freq
+        * cu_scaling
+    )
+    t_compute = profile.flops / compute_rate
+
+    # --- traffic after cache filtering -----------------------------------
+    hit_rate = _effective_hit_rate(profile, n_cus, freq, machine)
+    llc_traffic = profile.flops * profile.bytes_per_flop
+    miss_traffic = llc_traffic * (1.0 - hit_rate)
+    dram_traffic = miss_traffic * (1.0 - m_ext)
+    ext_traffic = miss_traffic * m_ext
+
+    # --- bandwidth bound --------------------------------------------------
+    t_bw = dram_traffic / bandwidth + ext_traffic / machine.ext_bandwidth
+
+    # One-shot utilization estimates for the contention terms (avoids a
+    # fixed-point iteration; accurate because utilization only matters when
+    # the kernel is near memory-bound, where t ~= t_bw). In-package DRAM
+    # and the external network each see their own utilization: off-package
+    # links saturate long before HBM does.
+    t_first = np.maximum(t_compute, t_bw)
+    # The in-package contention estimate is pinned at the all-in-package
+    # operating point: every miss crosses the shared LLC<->memory path,
+    # and spilling traffic to (much slower) external memory never makes
+    # the in-package latency better — it only stretches execution. This
+    # keeps performance monotonically non-increasing in the external
+    # fraction, as the paper's Fig. 8 shows.
+    t_first0 = np.maximum(t_compute, miss_traffic / bandwidth)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rho_in = np.where(
+            t_first0 > 0, (miss_traffic / bandwidth) / t_first0, 0.0
+        )
+        rho_ext = np.where(
+            t_first > 0,
+            (ext_traffic / machine.ext_bandwidth) / t_first,
+            0.0,
+        )
+    rho_in = np.clip(rho_in, 0.0, 1.0)
+    rho_ext = np.clip(rho_ext, 0.0, 1.0)
+    latency_in = (machine.mem_latency + extra_latency) * (
+        1.0 + machine.contention_kappa * rho_in**machine.contention_exponent
+    )
+    latency_ext = machine.ext_latency * (
+        1.0 + machine.contention_kappa * rho_ext**machine.contention_exponent
+    )
+
+    # --- latency bound (Little's law) -------------------------------------
+    misses_in = dram_traffic / machine.cacheline_bytes
+    misses_ext = ext_traffic / machine.cacheline_bytes
+    outstanding = n_cus * profile.mlp_per_cu
+    t_latency = (
+        profile.latency_sensitivity
+        * (misses_in * latency_in + misses_ext * latency_ext)
+        / outstanding
+    )
+
+    t_memory = smooth_max_array(t_bw, t_latency, machine.overlap_sharpness)
+    time = smooth_max_array(t_compute, t_memory, machine.overlap_sharpness)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        bw_util = np.where(time > 0, (dram_traffic / bandwidth) / time, 0.0)
+        busy = np.where(time > 0, t_compute / time, 0.0)
+    bw_util = np.clip(bw_util, 0.0, 1.0)
+    busy = np.clip(busy, 0.0, 1.0)
+
+    broadcast = np.broadcast(n_cus, freq, bandwidth, m_ext)
+    shape = broadcast.shape
+
+    def _full(x) -> np.ndarray:
+        return np.broadcast_to(np.asarray(x, dtype=float), shape).copy()
+
+    return KernelMetrics(
+        time=_full(time),
+        flops_rate=_full(profile.flops / time),
+        compute_time=_full(t_compute),
+        memory_time=_full(t_memory),
+        dram_traffic=_full(dram_traffic),
+        ext_traffic=_full(ext_traffic),
+        llc_traffic=_full(llc_traffic),
+        hit_rate=_full(hit_rate),
+        bw_utilization=_full(bw_util),
+        cu_busy_fraction=_full(busy),
+    )
+
+
+def kernel_time(
+    profile: KernelProfile,
+    n_cus,
+    freq,
+    bandwidth,
+    **kwargs,
+) -> np.ndarray:
+    """Execution time only; see :func:`evaluate_kernel` for parameters."""
+    return evaluate_kernel(profile, n_cus, freq, bandwidth, **kwargs).time

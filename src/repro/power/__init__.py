@@ -1,0 +1,28 @@
+"""Component power models for the ENA node.
+
+The node power decomposes the way the paper's Fig. 9 does: GPU compute
+units (dynamic + static), on-package interconnect (routers + links),
+in-package 3D DRAM, external memory (DRAM and/or NVM modules), and the
+SerDes links that reach them. Voltage-frequency behaviour (including the
+near-threshold floor) lives in :mod:`repro.power.vf`; the per-component
+models in :mod:`repro.power.components`; the node roll-up in
+:mod:`repro.power.breakdown`.
+"""
+
+from repro.power.vf import VFCurve
+from repro.power.components import PowerParams
+from repro.power.breakdown import (
+    ExternalMemoryConfig,
+    PowerBreakdown,
+    external_memory_power,
+    node_power,
+)
+
+__all__ = [
+    "VFCurve",
+    "PowerParams",
+    "ExternalMemoryConfig",
+    "PowerBreakdown",
+    "external_memory_power",
+    "node_power",
+]

@@ -1,0 +1,26 @@
+"""Reliability, availability, serviceability (RAS) substrate.
+
+Section II-A5: at 100,000 nodes, a small per-node fault rate multiplies
+into an unacceptable system MTTF, so RAS is a first-class constraint.
+This package provides FIT-rate fault modeling (:mod:`repro.ras.faults`),
+ECC coding math for SEC-DED and chipkill (:mod:`repro.ras.ecc`), a GPU
+redundant-multithreading cost model (:mod:`repro.ras.rmt`), and the
+node-to-system MTTF roll-up against the paper's "user intervention on
+the order of a week or more" target (:mod:`repro.ras.mttf`).
+"""
+
+from repro.ras.faults import ComponentFaultRates, FaultModel
+from repro.ras.ecc import EccScheme, SECDED, Chipkill, ecc_overhead_bits
+from repro.ras.rmt import RmtCostModel
+from repro.ras.mttf import SystemReliability
+
+__all__ = [
+    "ComponentFaultRates",
+    "FaultModel",
+    "EccScheme",
+    "SECDED",
+    "Chipkill",
+    "ecc_overhead_bits",
+    "RmtCostModel",
+    "SystemReliability",
+]

@@ -1,0 +1,118 @@
+"""Checkpoint/restart efficiency model.
+
+At exascale MTTFs, applications survive faults by checkpointing; the
+machine's *useful* throughput is what remains after checkpoint writes,
+rework after failures, and restarts. This module implements the standard
+first-order optimization (Young/Daly): the optimal checkpoint interval
+``sqrt(2 * delta * M)`` for checkpoint cost ``delta`` and MTTF ``M``,
+and the resulting machine efficiency — connecting the RAS substrate's
+FIT arithmetic to the exascale roll-up's delivered exaflops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CheckpointModel", "CheckpointPlan"]
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A chosen checkpoint regime and its predicted efficiency."""
+
+    interval_s: float
+    checkpoint_cost_s: float
+    mttf_s: float
+    efficiency: float
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of machine time lost to checkpoints and rework."""
+        return 1.0 - self.efficiency
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Checkpoint cost and efficiency estimation for one node/system.
+
+    Attributes
+    ----------
+    checkpoint_bytes:
+        State written per checkpoint (typically the application's
+        in-package + hot external footprint).
+    io_bandwidth:
+        Sustainable checkpoint bandwidth per node (burst buffer or
+        external-memory network headroom), B/s.
+    restart_cost_s:
+        Fixed restart time after a failure, seconds.
+    """
+
+    checkpoint_bytes: float = 64.0e9
+    io_bandwidth: float = 50.0e9
+    restart_cost_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_bytes <= 0 or self.io_bandwidth <= 0:
+            raise ValueError("checkpoint size and bandwidth must be positive")
+        if self.restart_cost_s < 0:
+            raise ValueError("restart cost must be non-negative")
+
+    @property
+    def checkpoint_cost_s(self) -> float:
+        """Seconds to write one checkpoint."""
+        return self.checkpoint_bytes / self.io_bandwidth
+
+    def optimal_interval(self, mttf_s: float) -> float:
+        """Young's optimal interval ``sqrt(2 * delta * M)``."""
+        if mttf_s <= 0:
+            raise ValueError("mttf must be positive")
+        return math.sqrt(2.0 * self.checkpoint_cost_s * mttf_s)
+
+    def efficiency(self, mttf_s: float, interval_s: float | None = None) -> float:
+        """Useful-work fraction under the given (or optimal) interval.
+
+        First-order model: each interval of length ``tau`` pays the
+        checkpoint cost ``delta``; failures (rate ``1/M``) waste on
+        average half an interval plus the restart cost.
+        """
+        if mttf_s <= 0:
+            raise ValueError("mttf must be positive")
+        tau = self.optimal_interval(mttf_s) if interval_s is None else interval_s
+        if tau <= 0:
+            raise ValueError("interval must be positive")
+        delta = self.checkpoint_cost_s
+        useful_per_interval = tau / (tau + delta)
+        failure_waste = (tau / 2.0 + self.restart_cost_s) / mttf_s
+        return max(0.0, useful_per_interval * (1.0 - failure_waste))
+
+    def plan(self, mttf_s: float) -> CheckpointPlan:
+        """Optimal plan for a given MTTF."""
+        tau = self.optimal_interval(mttf_s)
+        return CheckpointPlan(
+            interval_s=tau,
+            checkpoint_cost_s=self.checkpoint_cost_s,
+            mttf_s=mttf_s,
+            efficiency=self.efficiency(mttf_s, tau),
+        )
+
+    def required_mttf_for_efficiency(
+        self, target_efficiency: float, tolerance: float = 1e-4
+    ) -> float:
+        """Smallest system MTTF achieving *target_efficiency* (bisection).
+
+        Inverts the efficiency curve; raises ``ValueError`` for targets
+        outside (0, 1).
+        """
+        if not 0.0 < target_efficiency < 1.0:
+            raise ValueError("target efficiency must be in (0, 1)")
+        lo, hi = 1.0, 1.0e10
+        if self.efficiency(hi) < target_efficiency:
+            raise ValueError("target efficiency unreachable for this cost")
+        while hi / lo > 1.0 + tolerance:
+            mid = math.sqrt(lo * hi)
+            if self.efficiency(mid) >= target_efficiency:
+                hi = mid
+            else:
+                lo = mid
+        return hi

@@ -1,0 +1,141 @@
+"""Component fault-rate modeling.
+
+Rates are expressed in FIT (failures per 10^9 device-hours), the
+standard reliability unit. The node model aggregates per-component FITs
+— scaled by capacity/area — into a node rate; the system model
+multiplies across 100,000 nodes. Transient (soft) and hard rates are
+tracked separately because ECC/RMT address the former and redundancy/
+sparing the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComponentFaultRates", "FaultModel", "fit_to_mttf_hours"]
+
+HOURS_PER_FIT = 1.0e9
+
+
+def fit_to_mttf_hours(fit: float) -> float:
+    """Mean time to failure (hours) for an aggregate FIT rate."""
+    if fit < 0:
+        raise ValueError("FIT must be non-negative")
+    if fit == 0:
+        return float("inf")
+    return HOURS_PER_FIT / fit
+
+
+@dataclass(frozen=True)
+class ComponentFaultRates:
+    """Per-unit FIT rates for one component class.
+
+    ``transient_fit`` and ``hard_fit`` are per *unit* (per GB for
+    memories, per CU/core for logic).
+    """
+
+    name: str
+    transient_fit: float
+    hard_fit: float
+
+    def __post_init__(self) -> None:
+        if self.transient_fit < 0 or self.hard_fit < 0:
+            raise ValueError("FIT rates must be non-negative")
+
+    def total_fit(self, units: float) -> float:
+        """Aggregate FIT for *units* instances."""
+        if units < 0:
+            raise ValueError("units must be non-negative")
+        return (self.transient_fit + self.hard_fit) * units
+
+
+# Representative exascale-timeframe rates (per GB / per compute unit).
+DRAM_3D = ComponentFaultRates("3D DRAM", transient_fit=25.0, hard_fit=5.0)
+DRAM_EXT = ComponentFaultRates("external DRAM", transient_fit=30.0, hard_fit=6.0)
+NVM_EXT = ComponentFaultRates("external NVM", transient_fit=8.0, hard_fit=12.0)
+GPU_CU = ComponentFaultRates("GPU CU", transient_fit=10.0, hard_fit=0.05)
+CPU_CORE = ComponentFaultRates("CPU core", transient_fit=20.0, hard_fit=0.5)
+LOGIC_OTHER = ComponentFaultRates("other logic", transient_fit=20.0, hard_fit=5.0)
+
+
+class FaultModel:
+    """Aggregates component FITs into node-level rates.
+
+    Protection coverage (from ECC/RMT) removes the covered share of
+    *transient* faults from the silent/uncorrected rate.
+    """
+
+    def __init__(
+        self,
+        n_cus: int = 320,
+        n_cpu_cores: int = 32,
+        dram3d_gb: float = 256.0,
+        ext_dram_gb: float = 1024.0,
+        ext_nvm_gb: float = 0.0,
+    ):
+        if min(n_cus, n_cpu_cores) <= 0:
+            raise ValueError("compute counts must be positive")
+        if min(dram3d_gb, ext_dram_gb, ext_nvm_gb) < 0:
+            raise ValueError("capacities must be non-negative")
+        self.n_cus = n_cus
+        self.n_cpu_cores = n_cpu_cores
+        self.dram3d_gb = dram3d_gb
+        self.ext_dram_gb = ext_dram_gb
+        self.ext_nvm_gb = ext_nvm_gb
+
+    def raw_node_fit(self) -> float:
+        """Unprotected node FIT: every component, transient + hard."""
+        return (
+            DRAM_3D.total_fit(self.dram3d_gb)
+            + DRAM_EXT.total_fit(self.ext_dram_gb)
+            + NVM_EXT.total_fit(self.ext_nvm_gb)
+            + GPU_CU.total_fit(self.n_cus)
+            + CPU_CORE.total_fit(self.n_cpu_cores)
+            + LOGIC_OTHER.total_fit(1.0)
+        )
+
+    def uncorrected_node_fit(
+        self,
+        memory_coverage: float = 0.0,
+        gpu_coverage: float = 0.0,
+        cpu_coverage: float = 0.0,
+        memory_hard_coverage: float = 0.0,
+    ) -> float:
+        """Node FIT after protection removes covered faults.
+
+        Coverages are detection+correction probabilities in [0, 1]
+        (e.g., SEC-DED memory ECC ~ 0.97 of transients; GPU RMT
+        detection ~ 0.95; chipkill ~ 0.99 of hard device faults).
+        """
+        for name, c in (
+            ("memory_coverage", memory_coverage),
+            ("gpu_coverage", gpu_coverage),
+            ("cpu_coverage", cpu_coverage),
+            ("memory_hard_coverage", memory_hard_coverage),
+        ):
+            if not 0.0 <= c <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        mem_transient = (
+            DRAM_3D.transient_fit * self.dram3d_gb
+            + DRAM_EXT.transient_fit * self.ext_dram_gb
+            + NVM_EXT.transient_fit * self.ext_nvm_gb
+        )
+        mem_hard = (
+            DRAM_3D.hard_fit * self.dram3d_gb
+            + DRAM_EXT.hard_fit * self.ext_dram_gb
+            + NVM_EXT.hard_fit * self.ext_nvm_gb
+        )
+        gpu_t = GPU_CU.transient_fit * self.n_cus
+        gpu_h = GPU_CU.hard_fit * self.n_cus
+        cpu_t = CPU_CORE.transient_fit * self.n_cpu_cores
+        cpu_h = CPU_CORE.hard_fit * self.n_cpu_cores
+        other = LOGIC_OTHER.total_fit(1.0)
+        return (
+            mem_transient * (1.0 - memory_coverage)
+            + mem_hard * (1.0 - memory_hard_coverage)
+            + gpu_t * (1.0 - gpu_coverage)
+            + gpu_h
+            + cpu_t * (1.0 - cpu_coverage)
+            + cpu_h
+            + other
+        )

@@ -1,0 +1,67 @@
+"""System-level reliability roll-up.
+
+The exascale requirement (Section I): user intervention due to faults
+on the order of a week or more, across ~100,000 nodes. With node
+failure rate ``lambda``, the system MTTF is ``1 / (N * lambda)`` for
+interventions that any single node failure triggers; checkpoint/restart
+absorbs the rest. This module converts protected node FITs into system
+MTTF and checks the paper's target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ras.ecc import EccScheme, SECDED
+from repro.ras.faults import FaultModel, fit_to_mttf_hours
+from repro.ras.rmt import RmtCostModel
+
+__all__ = ["SystemReliability"]
+
+WEEK_HOURS = 7.0 * 24.0
+
+
+@dataclass(frozen=True)
+class SystemReliability:
+    """Reliability analysis for an N-node machine."""
+
+    n_nodes: int = 100_000
+    fault_model: FaultModel = None  # type: ignore[assignment]
+    memory_ecc: EccScheme = SECDED
+    rmt: RmtCostModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if self.fault_model is None:
+            object.__setattr__(self, "fault_model", FaultModel())
+
+    def node_fit(self) -> float:
+        """Protected per-node FIT (uncorrected/undetected faults)."""
+        gpu_cov = self.rmt.detection_coverage if self.rmt else 0.0
+        return self.fault_model.uncorrected_node_fit(
+            memory_coverage=self.memory_ecc.coverage_transient,
+            gpu_coverage=gpu_cov,
+            cpu_coverage=0.99,  # CPU cores ship with ECC-protected arrays
+            memory_hard_coverage=self.memory_ecc.coverage_hard,
+        )
+
+    def node_mttf_hours(self) -> float:
+        """Mean time between uncorrected faults on one node."""
+        return fit_to_mttf_hours(self.node_fit())
+
+    def system_mttf_hours(self) -> float:
+        """Mean time between node-level interventions machine-wide."""
+        return self.node_mttf_hours() / self.n_nodes
+
+    def meets_week_target(self) -> bool:
+        """Does the machine meet the >= 1 week intervention target?"""
+        return self.system_mttf_hours() >= WEEK_HOURS
+
+    def required_node_fit_for_week(self) -> float:
+        """The node FIT budget implied by the week target."""
+        return 1.0e9 / (WEEK_HOURS * self.n_nodes)
+
+    def intervention_interval_days(self) -> float:
+        """System MTTF in days (the paper's reporting unit)."""
+        return self.system_mttf_hours() / 24.0

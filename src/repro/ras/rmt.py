@@ -1,0 +1,64 @@
+"""GPU redundant multithreading (RMT) cost model.
+
+Section II-A5: rather than burden the GPU chiplets with HPC-only ECC
+area (hurting their reuse in graphics markets), the paper explores
+software RMT — duplicate computation on otherwise-idle CUs and compare.
+The cost depends on how utilized the GPU already is: idle resources
+make redundancy nearly free; a saturated GPU pays up to 2x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RmtCostModel"]
+
+
+@dataclass(frozen=True)
+class RmtCostModel:
+    """Overhead/coverage model for compiler-managed GPU RMT.
+
+    Attributes
+    ----------
+    detection_coverage:
+        Fraction of transient compute faults the duplicate-and-compare
+        scheme detects.
+    compare_overhead:
+        Fixed instruction overhead of the comparison/checking code,
+        as a fraction of baseline work.
+    """
+
+    detection_coverage: float = 0.95
+    compare_overhead: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.detection_coverage <= 1.0:
+            raise ValueError("detection_coverage must be in [0, 1]")
+        if self.compare_overhead < 0:
+            raise ValueError("compare_overhead must be non-negative")
+
+    def slowdown(self, gpu_utilization: float) -> float:
+        """Execution-time factor (>= 1) of enabling RMT.
+
+        With utilization ``u``, the redundant copy first absorbs the
+        idle ``1 - u`` of the machine; demand beyond capacity extends
+        execution time: total work is ``2u`` plus checking, over a
+        machine of capacity 1.
+        """
+        if not 0.0 <= gpu_utilization <= 1.0:
+            raise ValueError("gpu_utilization must be in [0, 1]")
+        demand = 2.0 * gpu_utilization * (1.0 + self.compare_overhead)
+        return max(1.0, demand) if gpu_utilization > 0 else 1.0
+
+    def energy_overhead(self, gpu_utilization: float) -> float:
+        """Extra dynamic energy fraction: the duplicate work always
+        switches transistors even when it hides in idle slots."""
+        if not 0.0 <= gpu_utilization <= 1.0:
+            raise ValueError("gpu_utilization must be in [0, 1]")
+        return gpu_utilization * (1.0 + self.compare_overhead)
+
+    def covered_fit_reduction(self, gpu_transient_fit: float) -> float:
+        """Transient FIT removed from the silent-error budget."""
+        if gpu_transient_fit < 0:
+            raise ValueError("FIT must be non-negative")
+        return gpu_transient_fit * self.detection_coverage

@@ -1,0 +1,207 @@
+"""Trace-driven APU simulation: CUs + caches + DRAM service.
+
+Runs a synthetic memory trace (from
+:class:`~repro.workloads.traces.TraceGenerator`) through wavefronts on
+CUs, a two-level cache, and a bandwidth-limited DRAM service queue, in
+the discrete-event engine. The simulator reports achieved FLOP rate, CU
+utilization, measured cache hit rates, and mean memory latency — the
+quantities the analytic model abstracts — so the two can be compared on
+the same workload (the paper's gem5-adjustment role).
+
+Scale note: the simulator runs a scaled-down EHP (default 16 CUs) on a
+scaled trace; the analytic comparison normalizes per-CU, which is valid
+because both sides share the per-CU abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.cache_sim import CacheLevel, CacheSim
+from repro.sim.engine import Simulator
+from repro.sim.gpu_core import ComputeUnit, Wavefront
+from repro.util.units import NS
+from repro.workloads.traces import MemoryTrace
+
+__all__ = ["ApuSimConfig", "ApuSimResult", "ApuSimulator"]
+
+
+@dataclass(frozen=True)
+class ApuSimConfig:
+    """Scaled-down simulation parameters."""
+
+    n_cus: int = 16
+    freq_hz: float = 1.0e9
+    flops_per_cu_cycle: float = 64.0
+    wavefronts_per_cu: int = 8
+    dram_bandwidth: float = 150.0e9  # scaled: ~per-chiplet share
+    dram_latency: float = 350.0 * NS
+    llc_latency: float = 40.0 * NS
+    l1_latency: float = 4.0 * NS
+    chiplet_extra_latency: float = 0.0
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_cus <= 0 or self.wavefronts_per_cu <= 0:
+            raise ValueError("CU/wavefront counts must be positive")
+        if min(self.freq_hz, self.dram_bandwidth, self.dram_latency) <= 0:
+            raise ValueError("rates and latencies must be positive")
+        if self.chiplet_extra_latency < 0:
+            raise ValueError("chiplet_extra_latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class ApuSimResult:
+    """Measured outcome of one simulation."""
+
+    elapsed: float
+    total_flops: float
+    total_accesses: int
+    dram_accesses: int
+    cu_utilization: float
+    mean_memory_latency: float
+    hit_rates: dict
+
+    @property
+    def flops_rate(self) -> float:
+        """Achieved FLOP/s."""
+        return self.total_flops / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def dram_fraction(self) -> float:
+        """Share of accesses that reached DRAM."""
+        if self.total_accesses == 0:
+            return 0.0
+        return self.dram_accesses / self.total_accesses
+
+
+class ApuSimulator:
+    """Event-driven execution of a memory trace on the scaled APU."""
+
+    def __init__(self, config: ApuSimConfig | None = None):
+        self.config = config or ApuSimConfig()
+
+    def run(self, trace: MemoryTrace) -> ApuSimResult:
+        """Execute *trace* split round-robin across all wavefronts."""
+        cfg = self.config
+        if len(trace) == 0:
+            raise ValueError("empty trace")
+        sim = Simulator()
+        cache = CacheSim(
+            [
+                CacheLevel("L1", cfg.n_cus * 16 * 1024, cfg.line_bytes, 8),
+                CacheLevel("LLC", 4 * 1024 * 1024, cfg.line_bytes, 16),
+            ]
+        )
+        cu_rate = cfg.flops_per_cu_cycle * cfg.freq_hz
+        cus = [
+            ComputeUnit(cu_id=i, flops_per_second=cu_rate,
+                        max_wavefronts=cfg.wavefronts_per_cu)
+            for i in range(cfg.n_cus)
+        ]
+
+        n_wfs = cfg.n_cus * cfg.wavefronts_per_cu
+        # Partition the trace across wavefronts (strided, preserving the
+        # interleaved-concurrency character of GPU execution).
+        partitions = [
+            (trace.addresses[w::n_wfs], trace.flops_between[w::n_wfs])
+            for w in range(n_wfs)
+        ]
+
+        state = {
+            "flops": 0.0,
+            "accesses": 0,
+            "dram": 0,
+            "lat_sum": 0.0,
+            "dram_free_at": 0.0,
+        }
+        # One issue slot per CU: compute bursts on the same CU serialize.
+        cu_free_at = [0.0] * cfg.n_cus
+        line_service = cfg.line_bytes / cfg.dram_bandwidth
+        level_latency = {
+            0: cfg.l1_latency,
+            1: cfg.llc_latency,
+        }
+
+        def memory_latency(address: int) -> float:
+            level = cache.access(int(address))
+            if level < len(level_latency):
+                return level_latency[level]
+            state["dram"] += 1
+            # Shared DRAM service queue: serialized line transfers.
+            start = max(sim.now, state["dram_free_at"])
+            state["dram_free_at"] = start + line_service
+            queue_delay = start - sim.now
+            return (
+                queue_delay
+                + line_service
+                + cfg.dram_latency
+                + cfg.chiplet_extra_latency
+            )
+
+        def step(cu: ComputeUnit, wf: Wavefront, addrs, flops, idx: int):
+            if idx >= len(addrs):
+                wf.state = "done"
+                return
+            burst_flops = float(flops[idx])
+            # Wait for the CU's issue slot, then occupy it for the burst.
+            start = max(sim.now, cu_free_at[cu.cu_id])
+            duration = burst_flops / cu.flops_per_second
+            cu_free_at[cu.cu_id] = start + duration
+
+            def begin_burst():
+                cu.start_compute(wf, sim.now)
+                sim.schedule(duration, finish_burst)
+
+            def finish_burst():
+                cu.end_compute(wf, sim.now)
+                state["flops"] += burst_flops
+                state["accesses"] += 1
+                latency = memory_latency(addrs[idx])
+                state["lat_sum"] += latency
+                sim.schedule(
+                    latency, lambda: step(cu, wf, addrs, flops, idx + 1)
+                )
+
+            sim.schedule_at(start, begin_burst)
+
+        wf_id = 0
+        for cu in cus:
+            for _ in range(cfg.wavefronts_per_cu):
+                addrs, flops = partitions[wf_id]
+                wf = Wavefront(
+                    wf_id=wf_id,
+                    remaining_accesses=len(addrs),
+                    flops_per_burst=float(flops.mean()) if len(flops) else 0.0,
+                )
+                cu.add_wavefront(wf)
+                if len(addrs):
+                    step(cu, wf, addrs, flops, 0)
+                else:
+                    wf.state = "done"
+                wf_id += 1
+
+        elapsed = sim.run()
+        if elapsed <= 0:
+            elapsed = 1e-12
+        utilization = float(
+            np.mean([cu.utilization(elapsed) for cu in cus])
+        )
+        hit_rates = {
+            level.name: level.stats.hit_rate for level in cache.levels
+        }
+        return ApuSimResult(
+            elapsed=elapsed,
+            total_flops=state["flops"],
+            total_accesses=state["accesses"],
+            dram_accesses=state["dram"],
+            cu_utilization=utilization,
+            mean_memory_latency=(
+                state["lat_sum"] / state["accesses"]
+                if state["accesses"]
+                else 0.0
+            ),
+            hit_rates=hit_rates,
+        )

@@ -1,0 +1,98 @@
+"""Minimal discrete-event simulation engine.
+
+A classic event-queue kernel: events carry a timestamp and a callback;
+the simulator pops them in time order, callbacks schedule further
+events. Deterministic tie-breaking (insertion order) keeps runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Time-ordered event heap with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* at *time*; returns a cancellable handle."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Next non-cancelled event, or None when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* *delay* seconds from the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.queue.push(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule at an absolute time (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        return self.queue.push(time, action)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the queue (optionally bounded); returns the final time."""
+        while True:
+            if max_events is not None and self.events_processed >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.now = event.time
+            event.action()
+            self.events_processed += 1
+        return self.now

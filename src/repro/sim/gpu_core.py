@@ -1,0 +1,93 @@
+"""Wavefront-level compute-unit model.
+
+Each CU hosts a pool of wavefronts; a wavefront alternates compute
+bursts (duration = flops / CU issue rate) with memory requests. While a
+wavefront waits on memory, the CU issues from other ready wavefronts —
+the latency-hiding mechanism the paper's Section V-A take-away credits
+for the chiplet design's small penalty. The CU is busy whenever at
+least one wavefront is in a compute burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Wavefront", "ComputeUnit"]
+
+
+@dataclass
+class Wavefront:
+    """One wavefront's remaining work."""
+
+    wf_id: int
+    remaining_accesses: int
+    flops_per_burst: float
+    state: str = "ready"  # ready | computing | waiting | done
+
+    def __post_init__(self) -> None:
+        if self.remaining_accesses < 0:
+            raise ValueError("remaining_accesses must be non-negative")
+        if self.flops_per_burst < 0:
+            raise ValueError("flops_per_burst must be non-negative")
+
+
+@dataclass
+class ComputeUnit:
+    """A CU: issue rate, wavefront pool, and busy-time accounting."""
+
+    cu_id: int
+    flops_per_second: float
+    max_wavefronts: int = 40
+    wavefronts: dict[int, Wavefront] = field(default_factory=dict)
+    busy_time: float = 0.0
+    _busy_since: float | None = field(default=None, repr=False)
+    _computing: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        if self.max_wavefronts <= 0:
+            raise ValueError("max_wavefronts must be positive")
+
+    def add_wavefront(self, wf: Wavefront) -> None:
+        """Admit a wavefront; raises when the pool is full."""
+        if len(self.wavefronts) >= self.max_wavefronts:
+            raise RuntimeError(f"CU{self.cu_id}: wavefront pool full")
+        if wf.wf_id in self.wavefronts:
+            raise ValueError(f"duplicate wavefront id {wf.wf_id}")
+        self.wavefronts[wf.wf_id] = wf
+
+    def burst_duration(self, wf: Wavefront) -> float:
+        """Seconds one compute burst of *wf* occupies an issue slot."""
+        return wf.flops_per_burst / self.flops_per_second
+
+    # --- busy-time accounting -------------------------------------------
+    def start_compute(self, wf: Wavefront, now: float) -> None:
+        """Mark *wf* computing; CU becomes busy if it was idle."""
+        if wf.state == "computing":
+            raise RuntimeError(f"wavefront {wf.wf_id} already computing")
+        wf.state = "computing"
+        if self._computing == 0:
+            self._busy_since = now
+        self._computing += 1
+
+    def end_compute(self, wf: Wavefront, now: float) -> None:
+        """Mark *wf* done computing; accumulate busy time if CU idles."""
+        if wf.state != "computing":
+            raise RuntimeError(f"wavefront {wf.wf_id} not computing")
+        wf.state = "waiting"
+        self._computing -= 1
+        if self._computing == 0 and self._busy_since is not None:
+            self.busy_time += now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over *elapsed* seconds."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return min(1.0, self.busy_time / elapsed)
+
+    @property
+    def active_wavefronts(self) -> int:
+        """Wavefronts not yet finished."""
+        return sum(1 for w in self.wavefronts.values() if w.state != "done")

@@ -1,0 +1,28 @@
+"""Compact thermal model of the EHP package (Figs. 10 and 11).
+
+A HotSpot-style steady-state RC model: the package floorplan is gridded,
+each grid cell carries a vertical stack of layers (active interposer,
+compute die, 3D DRAM), and heat conducts laterally within layers and
+vertically between them and into the heatsink. The solver assembles a
+sparse conductance matrix and solves for the steady-state temperature
+field given a power map.
+
+The paper's constraint is the DRAM retention limit: in-package 3D DRAM
+must stay below 85 C with a high-end air cooler at 50 C ambient.
+"""
+
+from repro.thermal.floorplan import EHPFloorplan, Region
+from repro.thermal.stack import LayerStack, ThermalLayer
+from repro.thermal.grid import ThermalGrid, TemperatureField
+from repro.thermal.analysis import ThermalModel, ThermalReport
+
+__all__ = [
+    "EHPFloorplan",
+    "Region",
+    "LayerStack",
+    "ThermalLayer",
+    "ThermalGrid",
+    "TemperatureField",
+    "ThermalModel",
+    "ThermalReport",
+]

@@ -1,0 +1,122 @@
+"""High-level thermal analysis: node evaluation -> temperatures.
+
+Maps a :class:`~repro.power.breakdown.PowerBreakdown` onto the EHP
+floorplan (CU power under the DRAM stacks, CPU power in the central
+clusters, NoC power in the interposer layer) and solves the grid for the
+Fig. 10 metric — peak in-package DRAM temperature — and the Fig. 11
+heat map of the bottom-most DRAM die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.power.breakdown import PowerBreakdown
+from repro.thermal.floorplan import EHPFloorplan
+from repro.thermal.grid import TemperatureField, ThermalGrid
+from repro.thermal.stack import LayerStack
+
+__all__ = ["ThermalModel", "ThermalReport", "DRAM_LIMIT_C"]
+
+DRAM_LIMIT_C = 85.0
+"""JEDEC refresh-rate limit the paper designs against (Section V-D)."""
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Solved thermal state for one workload/configuration."""
+
+    field: TemperatureField
+    peak_dram_c: float
+    peak_compute_c: float
+    mean_dram_c: float
+
+    @property
+    def dram_within_limit(self) -> bool:
+        """Does the hottest DRAM cell respect the 85 C refresh limit?"""
+        return self.peak_dram_c <= DRAM_LIMIT_C
+
+    @property
+    def dram_headroom_c(self) -> float:
+        """Margin to the refresh limit (negative when violated)."""
+        return DRAM_LIMIT_C - self.peak_dram_c
+
+    def dram_heatmap(self) -> np.ndarray:
+        """The bottom-most DRAM die temperature map (Fig. 11)."""
+        return self.field.layer("dram")
+
+
+class ThermalModel:
+    """Floorplan + grid + power-placement rules."""
+
+    def __init__(
+        self,
+        floorplan: EHPFloorplan | None = None,
+        stack: LayerStack | None = None,
+        nx: int = 66,
+        ny: int = 22,
+    ):
+        self.floorplan = floorplan or EHPFloorplan()
+        self.stack = stack or LayerStack()
+        self.grid = ThermalGrid(
+            self.floorplan.width_mm,
+            self.floorplan.depth_mm,
+            nx=nx,
+            ny=ny,
+            stack=self.stack,
+        )
+
+    # ------------------------------------------------------------------
+    def _region_mask(self, regions) -> np.ndarray:
+        """Boolean (ny, nx) mask of cells whose centre is inside any of
+        *regions*."""
+        mask = np.zeros((self.grid.ny, self.grid.nx), dtype=bool)
+        dx_mm = self.floorplan.width_mm / self.grid.nx
+        dy_mm = self.floorplan.depth_mm / self.grid.ny
+        for j in range(self.grid.ny):
+            for i in range(self.grid.nx):
+                x = (i + 0.5) * dx_mm
+                y = (j + 0.5) * dy_mm
+                if any(r.contains(x, y) for r in regions):
+                    mask[j, i] = True
+        return mask
+
+    def build_power_maps(self, power: PowerBreakdown) -> np.ndarray:
+        """Distribute a node power breakdown over the grid layers.
+
+        Only EHP-package components produce heat here; the external
+        memory network dissipates on its own modules.
+        """
+        shape = (self.stack.n_layers, self.grid.ny, self.grid.nx)
+        maps = np.zeros(shape)
+        gpu_mask = self._region_mask(self.floorplan.gpu_regions)
+        cpu_mask = self._region_mask(self.floorplan.cpu_regions)
+        if not gpu_mask.any() or not cpu_mask.any():
+            raise RuntimeError("floorplan rasterized to empty masks")
+
+        compute = self.stack.layer_index("compute")
+        interposer = self.stack.layer_index("interposer")
+        dram = self.stack.layer_index("dram")
+
+        cu_power = float(power.cu_dynamic + power.cu_static)
+        maps[compute][gpu_mask] += cu_power / gpu_mask.sum()
+        maps[compute][cpu_mask] += float(power.cpu) / cpu_mask.sum()
+
+        noc_power = float(power.noc_dynamic + power.noc_static)
+        maps[interposer] += noc_power / (self.grid.ny * self.grid.nx)
+
+        dram_power = float(power.dram3d_dynamic + power.dram3d_static)
+        maps[dram][gpu_mask] += dram_power / gpu_mask.sum()
+        return maps
+
+    def analyze(self, power: PowerBreakdown) -> ThermalReport:
+        """Solve the package temperatures for one power breakdown."""
+        field = self.grid.solve(self.build_power_maps(power))
+        return ThermalReport(
+            field=field,
+            peak_dram_c=field.peak("dram"),
+            peak_compute_c=field.peak("compute"),
+            mean_dram_c=field.mean("dram"),
+        )

@@ -1,0 +1,180 @@
+"""Sparse steady-state thermal grid solver.
+
+Discretizes the package into ``nx x ny`` cells per layer and solves the
+conduction equation ``G T = P + G_b T_amb`` where ``G`` assembles
+lateral (within-layer) and vertical (between-layer and boundary)
+conductances. This is the same compact-model formulation HotSpot uses
+(the paper's thermal methodology), specialized to steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.stack import LayerStack
+
+__all__ = ["TemperatureField", "ThermalGrid"]
+
+
+@dataclass(frozen=True)
+class TemperatureField:
+    """Solved temperatures, Celsius, shaped (n_layers, ny, nx)."""
+
+    celsius: np.ndarray
+    layer_names: tuple[str, ...]
+
+    def layer(self, name: str) -> np.ndarray:
+        """The 2-D temperature map of one named layer."""
+        return self.celsius[self.layer_names.index(name)]
+
+    def peak(self, name: str | None = None) -> float:
+        """Hottest cell overall or within one layer."""
+        if name is None:
+            return float(self.celsius.max())
+        return float(self.layer(name).max())
+
+    def mean(self, name: str) -> float:
+        """Mean temperature of one layer."""
+        return float(self.layer(name).mean())
+
+
+class ThermalGrid:
+    """Gridded package with a linear steady-state solve.
+
+    Parameters
+    ----------
+    width_mm, depth_mm:
+        Package extent.
+    nx, ny:
+        Grid resolution (cells along width and depth).
+    stack:
+        Layer stack and boundary resistances.
+    """
+
+    def __init__(
+        self,
+        width_mm: float,
+        depth_mm: float,
+        nx: int = 66,
+        ny: int = 22,
+        stack: LayerStack | None = None,
+    ):
+        if nx < 2 or ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if width_mm <= 0 or depth_mm <= 0:
+            raise ValueError("package dimensions must be positive")
+        self.width_m = width_mm * 1e-3
+        self.depth_m = depth_mm * 1e-3
+        self.nx = nx
+        self.ny = ny
+        self.stack = stack or LayerStack()
+        self.dx = self.width_m / nx
+        self.dy = self.depth_m / ny
+        self.cell_area = self.dx * self.dy
+        self._matrix = None
+
+    @property
+    def n_cells(self) -> int:
+        """Unknowns in the linear system."""
+        return self.stack.n_layers * self.ny * self.nx
+
+    def _index(self, layer: int, j: int, i: int) -> int:
+        return (layer * self.ny + j) * self.nx + i
+
+    def _assemble(self):
+        """Build the conductance matrix and ambient-coupling vector."""
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        diag = np.zeros(self.n_cells)
+        b_amb = np.zeros(self.n_cells)
+
+        layers = self.stack.layers
+        n_layers = len(layers)
+
+        def add(a: int, b: int, g: float) -> None:
+            rows.append(a)
+            cols.append(b)
+            vals.append(-g)
+            diag[a] += g
+
+        for li, layer in enumerate(layers):
+            cross_x = layer.thickness_m * self.dy
+            cross_y = layer.thickness_m * self.dx
+            g_lat_x = 1.0 / layer.lateral_resistance(self.dx, cross_x)
+            g_lat_y = 1.0 / layer.lateral_resistance(self.dy, cross_y)
+            for j in range(self.ny):
+                for i in range(self.nx):
+                    a = self._index(li, j, i)
+                    if i + 1 < self.nx:
+                        b = self._index(li, j, i + 1)
+                        add(a, b, g_lat_x)
+                        add(b, a, g_lat_x)
+                    if j + 1 < self.ny:
+                        b = self._index(li, j + 1, i)
+                        add(a, b, g_lat_y)
+                        add(b, a, g_lat_y)
+            # Vertical coupling to the layer above.
+            if li + 1 < n_layers:
+                upper = layers[li + 1]
+                r_v = (
+                    layer.vertical_resistance(self.cell_area) / 2.0
+                    + upper.vertical_resistance(self.cell_area) / 2.0
+                )
+                g_v = 1.0 / r_v
+                for j in range(self.ny):
+                    for i in range(self.nx):
+                        a = self._index(li, j, i)
+                        b = self._index(li + 1, j, i)
+                        add(a, b, g_v)
+                        add(b, a, g_v)
+
+        # Boundaries: bottom layer to board, top layer to heatsink.
+        g_board = self.cell_area / self.stack.board_resistance_km2w
+        g_sink = self.cell_area / self.stack.sink_resistance_km2w
+        bottom_half = layers[0].vertical_resistance(self.cell_area) / 2.0
+        top_half = layers[-1].vertical_resistance(self.cell_area) / 2.0
+        g_bottom = 1.0 / (bottom_half + 1.0 / g_board)
+        g_top = 1.0 / (top_half + 1.0 / g_sink)
+        for j in range(self.ny):
+            for i in range(self.nx):
+                a = self._index(0, j, i)
+                diag[a] += g_bottom
+                b_amb[a] += g_bottom
+                a = self._index(n_layers - 1, j, i)
+                diag[a] += g_top
+                b_amb[a] += g_top
+
+        n = self.n_cells
+        rows.extend(range(n))
+        cols.extend(range(n))
+        vals.extend(diag)
+        matrix = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        return matrix, b_amb
+
+    def solve(self, power_maps: np.ndarray) -> TemperatureField:
+        """Solve for temperatures given per-layer power maps.
+
+        *power_maps* has shape ``(n_layers, ny, nx)`` in watts per cell.
+        """
+        expected = (self.stack.n_layers, self.ny, self.nx)
+        power_maps = np.asarray(power_maps, dtype=float)
+        if power_maps.shape != expected:
+            raise ValueError(
+                f"power map shape {power_maps.shape} != {expected}"
+            )
+        if np.any(power_maps < 0):
+            raise ValueError("power must be non-negative")
+        if self._matrix is None:
+            self._matrix = self._assemble()
+        matrix, b_amb = self._matrix
+        rhs = power_maps.ravel() + b_amb * self.stack.ambient_c
+        temps = spsolve(matrix, rhs)
+        return TemperatureField(
+            celsius=temps.reshape(expected),
+            layer_names=tuple(l.name for l in self.stack.layers),
+        )

@@ -1,0 +1,62 @@
+"""Shared utilities: unit constants and conversions, text tables, statistics.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.util.units import (
+    GHZ,
+    GIB,
+    GB,
+    KB,
+    MB,
+    MHZ,
+    MW,
+    NS,
+    PJ,
+    TB,
+    US,
+    Watt,
+    celsius_to_kelvin,
+    flops_to_teraflops,
+    kelvin_to_celsius,
+    to_si,
+)
+from repro.util.tables import TextTable, format_series
+from repro.util.stats import (
+    clamp,
+    geometric_mean,
+    harmonic_mean,
+    normalize,
+    relative_error,
+    smooth_max,
+    weighted_mean,
+)
+
+__all__ = [
+    "GHZ",
+    "GIB",
+    "GB",
+    "KB",
+    "MB",
+    "MHZ",
+    "MW",
+    "NS",
+    "PJ",
+    "TB",
+    "US",
+    "Watt",
+    "celsius_to_kelvin",
+    "flops_to_teraflops",
+    "kelvin_to_celsius",
+    "to_si",
+    "TextTable",
+    "format_series",
+    "clamp",
+    "smooth_max",
+    "geometric_mean",
+    "harmonic_mean",
+    "normalize",
+    "relative_error",
+    "weighted_mean",
+]

@@ -1,0 +1,81 @@
+"""Small statistics helpers used across the model and experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises ``ValueError`` on an empty sequence or non-positive entries.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Arithmetic mean of *values* weighted by *weights* (must sum > 0)."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def normalize(values: Sequence[float], reference: float | None = None) -> list[float]:
+    """Scale *values* so that *reference* (default: max) maps to 1.0."""
+    if not values:
+        return []
+    ref = max(values) if reference is None else reference
+    if ref == 0:
+        raise ValueError("cannot normalize by zero")
+    return [v / ref for v in values]
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected|; expected must be non-zero."""
+    if expected == 0:
+        raise ValueError("expected value must be non-zero")
+    return abs(measured - expected) / abs(expected)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp *value* into the closed interval [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty interval: [{lo}, {hi}]")
+    return max(lo, min(hi, value))
+
+
+def smooth_max(a: float, b: float, sharpness: float = 8.0) -> float:
+    """Smooth approximation of ``max(a, b)`` (log-sum-exp).
+
+    Used by the performance model so compute/memory roofline transitions are
+    differentiable knees rather than hard corners, matching the plateaus seen
+    in measured scaling curves. Larger *sharpness* approaches the true max.
+    """
+    if sharpness <= 0:
+        raise ValueError("sharpness must be positive")
+    m = max(a, b)
+    if m <= 0:
+        return m
+    # Scale-invariant log-sum-exp: exact as sharpness -> infinity.
+    ea = math.exp(sharpness * (a - m) / m)
+    eb = math.exp(sharpness * (b - m) / m)
+    return m + (m / sharpness) * math.log(ea + eb)

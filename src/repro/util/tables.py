@@ -1,0 +1,91 @@
+"""Plain-text table and series rendering for experiment output.
+
+The experiment drivers print the same rows/series the paper reports; this
+module renders them in aligned monospace tables so the harness output is
+directly comparable against the published tables and figure series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class TextTable:
+    """An aligned monospace table built row by row.
+
+    >>> t = TextTable(["app", "perf"])
+    >>> t.add_row(["CoMD", 1.23])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    app  | perf
+    -----+-----
+    CoMD | 1.23
+    """
+
+    def __init__(self, columns: Sequence[str], float_format: str = "{:.3g}"):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.float_format = float_format
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append one row; must have exactly one value per column."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([self._format(v) for v in values])
+
+    def _format(self, value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as an aligned string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header.rstrip(), rule]
+        for row in self._rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[float]],
+    x_label: str = "x",
+    x_values: Sequence[object] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render named numeric series (figure curves) as a table.
+
+    *series* maps a curve label to its y-values; *x_values* optionally labels
+    the rows. All series must have equal length.
+    """
+    columns = list(series)
+    data = [list(v) for v in series.values()]
+    lengths = {len(d) for d in data}
+    if len(lengths) > 1:
+        raise ValueError(f"series have unequal lengths: {sorted(lengths)}")
+    n = lengths.pop() if lengths else 0
+    if x_values is None:
+        x_values = list(range(n))
+    elif len(x_values) != n:
+        raise ValueError("x_values length does not match series length")
+    table = TextTable([x_label] + columns, float_format=float_format)
+    for i in range(n):
+        table.add_row([x_values[i]] + [d[i] for d in data])
+    return table.render()

@@ -1,0 +1,77 @@
+"""Unit constants and conversion helpers.
+
+All quantities inside the library are carried in SI base units (seconds,
+bytes, Hz, watts, joules, kelvin) unless a name explicitly says otherwise.
+The constants below convert *from* the named unit *to* the SI base, so
+``3 * TB`` is three terabytes in bytes and ``1.5 * GHZ`` is 1.5 GHz in hertz.
+"""
+
+from __future__ import annotations
+
+# --- frequency ---------------------------------------------------------
+MHZ = 1.0e6
+GHZ = 1.0e9
+
+# --- capacity / traffic (decimal, as used for bandwidth and DRAM sizes) -
+KB = 1.0e3
+MB = 1.0e6
+GB = 1.0e9
+TB = 1.0e12
+# Binary gibibyte for capacity bookkeeping where JEDEC-style sizes matter.
+GIB = float(1 << 30)
+
+# --- time ---------------------------------------------------------------
+NS = 1.0e-9
+US = 1.0e-6
+MS = 1.0e-3
+
+# --- energy / power -----------------------------------------------------
+PJ = 1.0e-12
+NJ = 1.0e-9
+MW = 1.0e6  # megawatt
+
+# A plain alias used in signatures for readability.
+Watt = float
+
+_SI_PREFIXES = {
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "K": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+    "P": 1e15,
+    "E": 1e18,
+}
+
+
+def to_si(value: float, prefix: str) -> float:
+    """Scale *value* given an SI *prefix* letter (``"G"`` -> 1e9).
+
+    Raises ``KeyError`` for an unknown prefix; an empty string is identity.
+    """
+    return value * _SI_PREFIXES[prefix]
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a Celsius temperature to kelvin."""
+    return celsius + 273.15
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a kelvin temperature to Celsius."""
+    return kelvin - 273.15
+
+
+def flops_to_teraflops(flops: float) -> float:
+    """Convert FLOP/s to TFLOP/s."""
+    return flops / 1.0e12
+
+
+def flops_to_exaflops(flops: float) -> float:
+    """Convert FLOP/s to EFLOP/s."""
+    return flops / 1.0e18

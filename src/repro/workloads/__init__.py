@@ -1,0 +1,33 @@
+"""Workload characterization: kernel profiles, the Table I catalog, traces.
+
+The paper characterizes eight proxy applications (Table I) into three
+categories (compute-intensive, balanced, memory-intensive) by measuring them
+on real hardware. We capture the observable surface of those measurements in
+:class:`~repro.workloads.kernels.KernelProfile` objects, calibrate them
+against the paper's published optima, and generate synthetic memory traces
+with matching locality statistics for the trace-driven simulator.
+"""
+
+from repro.workloads.kernels import KernelCategory, KernelProfile
+from repro.workloads.catalog import (
+    APPLICATIONS,
+    application_names,
+    get_application,
+    table1_rows,
+)
+from repro.workloads.traces import MemoryTrace, TraceGenerator
+from repro.workloads.phases import Phase, PhaseSequence, synthetic_md_application
+
+__all__ = [
+    "KernelCategory",
+    "KernelProfile",
+    "APPLICATIONS",
+    "application_names",
+    "get_application",
+    "table1_rows",
+    "MemoryTrace",
+    "TraceGenerator",
+    "Phase",
+    "PhaseSequence",
+    "synthetic_md_application",
+]

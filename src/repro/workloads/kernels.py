@@ -1,0 +1,169 @@
+"""Kernel profile abstraction.
+
+A :class:`KernelProfile` is the library's unit of workload description. It
+captures, in a dozen scalars, what the paper's authors measured on real
+hardware with performance counters: operational intensity, scaling
+efficiency, cache behaviour, latency tolerance, and activity factors. Every
+model in the library (performance, power, thermal, NoC, RAS) consumes only
+the profile, never an application binary — exactly mirroring the paper's
+high-level-simulation methodology, where measured counters feed analytic and
+machine-learning scaling models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+
+class KernelCategory(enum.Enum):
+    """The paper's Section IV taxonomy of kernel behaviour."""
+
+    COMPUTE_INTENSIVE = "compute-intensive"
+    BALANCED = "balanced"
+    MEMORY_INTENSIVE = "memory-intensive"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Measured characteristics of one application kernel.
+
+    Parameters
+    ----------
+    name:
+        Application name as it appears in Table I (e.g., ``"LULESH"``).
+    category:
+        Behavioural category from Section IV.
+    description:
+        Table I description string.
+    flops:
+        Total double-precision floating-point operations in one kernel
+        invocation. The absolute value only sets the time scale; all the
+        paper's figures are normalized.
+    bytes_per_flop:
+        Bytes *requested* from the memory system per flop, before cache
+        filtering. The inverse of the kernel's intrinsic operational
+        intensity.
+    parallel_fraction:
+        Exponent ``alpha`` in the CU-count scaling law ``throughput ~
+        n_cus**alpha``: 1.0 scales perfectly with more CUs; lower values
+        model serialization, divergence, and load imbalance.
+    cache_hit_rate:
+        LLC hit rate at the reference concurrency (one fully occupied
+        GPU chiplet). Requests that hit never reach DRAM.
+    thrash_pressure:
+        How quickly the hit rate collapses as concurrency grows beyond the
+        reference point. Zero means the working set is concurrency-
+        insensitive; large values produce the rise-then-fall curves of the
+        paper's memory-intensive kernels (Fig. 6).
+    latency_sensitivity:
+        Fraction of memory stall time that wavefront parallelism cannot
+        hide; irregular-access kernels (LULESH) have high values.
+    mlp_per_cu:
+        Sustained outstanding cache-line misses per CU (memory-level
+        parallelism). With ``latency_sensitivity`` this sets the
+        latency-bound throughput via Little's law.
+    ext_memory_fraction:
+        Fraction of DRAM traffic served by the external (off-package)
+        memory network under the paper's HMA-style management (reported
+        46-89% across applications). Used by the power and Fig. 8 models.
+    cu_utilization:
+        Dynamic activity factor of a busy CU (switching capacitance
+        utilization), used by the power model.
+    issue_efficiency:
+        Fraction of peak issue slots the kernel achieves when it is
+        compute-bound (instruction mix, bank conflicts, pipeline bubbles).
+        MaxFlops reaches ~0.9 of the 64 DP-flops/cycle/CU peak, matching
+        the paper's 18.6 TF at 320 CUs and 1 GHz.
+    write_fraction:
+        Fraction of memory traffic that is writes; drives NVM dynamic
+        energy asymmetry in the external-memory study (Fig. 9).
+    compression_ratio:
+        Achievable compression factor on LLC<->DRAM traffic (>= 1.0);
+        drives the DRAM-traffic-compression optimization (Section V-E,
+        Fig. 12). FP-heavy irregular data compresses modestly.
+    footprint_bytes:
+        Problem working-set size, used by the memory manager and trace
+        generator.
+    provenance:
+        Free-form note recording how the numbers were obtained (e.g.,
+        "calibrated to Table II optimum").
+    """
+
+    name: str
+    category: KernelCategory
+    description: str
+    flops: float = 1.0e12
+    bytes_per_flop: float = 0.5
+    parallel_fraction: float = 0.95
+    cache_hit_rate: float = 0.5
+    thrash_pressure: float = 0.0
+    latency_sensitivity: float = 0.1
+    mlp_per_cu: float = 64.0
+    ext_memory_fraction: float = 0.6
+    cu_utilization: float = 0.7
+    issue_efficiency: float = 0.9
+    write_fraction: float = 0.3
+    compression_ratio: float = 1.4
+    footprint_bytes: float = 64.0e9
+    provenance: str = "unspecified"
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._check_unit_interval("parallel_fraction", self.parallel_fraction)
+        self._check_unit_interval("cache_hit_rate", self.cache_hit_rate)
+        self._check_unit_interval(
+            "latency_sensitivity", self.latency_sensitivity
+        )
+        self._check_unit_interval(
+            "ext_memory_fraction", self.ext_memory_fraction
+        )
+        self._check_unit_interval("cu_utilization", self.cu_utilization)
+        self._check_unit_interval("issue_efficiency", self.issue_efficiency)
+        self._check_unit_interval("write_fraction", self.write_fraction)
+        for positive_field in ("flops", "mlp_per_cu", "footprint_bytes"):
+            value = getattr(self, positive_field)
+            if value <= 0:
+                raise ValueError(f"{positive_field} must be positive, got {value}")
+        if self.compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1.0")
+        for nonneg_field in ("bytes_per_flop", "thrash_pressure"):
+            value = getattr(self, nonneg_field)
+            if value < 0:
+                raise ValueError(
+                    f"{nonneg_field} must be non-negative, got {value}"
+                )
+
+    @staticmethod
+    def _check_unit_interval(name: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def operational_intensity(self) -> float:
+        """Intrinsic flops per requested byte (before cache filtering)."""
+        if self.bytes_per_flop == 0:
+            return float("inf")
+        return 1.0 / self.bytes_per_flop
+
+    def with_overrides(self, **changes: object) -> "KernelProfile":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)
+
+    def scaled_problem(self, factor: float) -> "KernelProfile":
+        """Return a copy with flops and footprint scaled by *factor*.
+
+        Weak-scaling helper for the examples: the per-byte and per-flop
+        characteristics are size-invariant in this model.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            footprint_bytes=self.footprint_bytes * factor,
+        )

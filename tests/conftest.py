@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import DesignSpace, EHPConfig
+from repro.core.node import NodeModel
+from repro.perfmodel.machine import MachineParams
+from repro.workloads.catalog import APPLICATIONS
+from repro.workloads.kernels import KernelCategory, KernelProfile
+
+
+@pytest.fixture(scope="session")
+def model() -> NodeModel:
+    """The default calibrated node model."""
+    return NodeModel()
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineParams:
+    """Default machine parameters."""
+    return MachineParams()
+
+
+@pytest.fixture(scope="session")
+def space() -> DesignSpace:
+    """The paper's full exploration grid."""
+    return DesignSpace()
+
+
+@pytest.fixture(scope="session")
+def small_space() -> DesignSpace:
+    """A coarse grid for fast sweep tests."""
+    return DesignSpace(
+        cu_counts=(192, 256, 320, 384),
+        frequencies=(700e6, 1000e6, 1300e6),
+        bandwidths=(1e12, 3e12, 5e12, 7e12),
+    )
+
+
+@pytest.fixture(scope="session")
+def apps() -> dict:
+    """The Table I catalog."""
+    return dict(APPLICATIONS)
+
+
+@pytest.fixture(scope="session")
+def maxflops() -> KernelProfile:
+    return APPLICATIONS["MaxFlops"]
+
+
+@pytest.fixture(scope="session")
+def lulesh() -> KernelProfile:
+    return APPLICATIONS["LULESH"]
+
+
+@pytest.fixture(scope="session")
+def comd() -> KernelProfile:
+    return APPLICATIONS["CoMD"]
+
+
+@pytest.fixture
+def generic_profile() -> KernelProfile:
+    """A mid-range synthetic profile independent of the catalog."""
+    return KernelProfile(
+        name="generic",
+        category=KernelCategory.BALANCED,
+        description="synthetic test kernel",
+        flops=1.0e12,
+        bytes_per_flop=0.4,
+        parallel_fraction=0.8,
+        cache_hit_rate=0.5,
+        thrash_pressure=0.2,
+        latency_sensitivity=0.3,
+        mlp_per_cu=32.0,
+        ext_memory_fraction=0.5,
+        cu_utilization=0.6,
+    )
+
+
+@pytest.fixture(scope="session")
+def best_mean_config() -> EHPConfig:
+    """The paper's best-mean design point."""
+    return EHPConfig(n_cus=320, gpu_freq=1.0e9, bandwidth=3.0e12)

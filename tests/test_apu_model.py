@@ -1,0 +1,88 @@
+"""The combined CPU+GPU (APU) application model."""
+
+import pytest
+
+from repro.perfmodel.apu import (
+    ApuApplicationModel,
+    MixedApplication,
+)
+from repro.workloads.catalog import get_application
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ApuApplicationModel()
+
+
+def app(**overrides) -> MixedApplication:
+    defaults = dict(
+        name="mixed",
+        profile=get_application("CoMD"),
+        serial_fraction=1.0e-4,
+        region_alternations=200,
+        bytes_per_offload=256e6,
+    )
+    defaults.update(overrides)
+    return MixedApplication(**defaults)
+
+
+class TestMixedApplication:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            app(serial_fraction=1.0)
+        with pytest.raises(ValueError):
+            app(region_alternations=-1)
+        with pytest.raises(ValueError):
+            app(bytes_per_offload=-1.0)
+
+
+class TestOrganizations:
+    def test_apu_beats_cpu_only(self, model):
+        speedups = model.apu_speedup(app())
+        assert speedups["cpu-only"] > 5.0
+
+    def test_apu_beats_discrete_on_chatty_apps(self, model):
+        speedups = model.apu_speedup(app(region_alternations=500))
+        assert speedups["discrete"] > 1.05
+
+    def test_discrete_converges_to_apu_without_transitions(self, model):
+        speedups = model.apu_speedup(app(region_alternations=0))
+        assert speedups["discrete"] == pytest.approx(1.0)
+
+    def test_offload_share_grows_with_alternations(self, model):
+        chatty = model.evaluate(app(region_alternations=1000), "discrete")
+        calm = model.evaluate(app(region_alternations=10), "discrete")
+        assert chatty.offload_share > calm.offload_share
+
+    def test_cpu_only_has_no_offload(self, model):
+        r = model.evaluate(app(), "cpu-only")
+        assert r.offload_time == 0.0
+
+    def test_serial_fraction_amdahl(self, model):
+        # More serial work hurts every organization; by 1% serial flops
+        # the CPU region dominates the whole run (Amdahl at APU scale).
+        light = model.evaluate(app(serial_fraction=1e-5), "apu")
+        heavy = model.evaluate(app(serial_fraction=1e-2), "apu")
+        assert heavy.total_time > light.total_time
+        assert heavy.serial_time > heavy.parallel_time
+
+    def test_totals_are_component_sums(self, model):
+        for org in ("cpu-only", "discrete", "apu"):
+            r = model.evaluate(app(), org)
+            assert r.total_time == pytest.approx(
+                r.serial_time + r.parallel_time + r.offload_time
+            )
+
+    def test_unknown_organization(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(app(), "tpu-pod")
+
+    def test_paper_narrative_holds_across_catalog(self, model):
+        # The APU organization wins for every Table I application with
+        # typical region structure — the Section II-A1 claim.
+        for name in ("CoMD", "LULESH", "SNAP", "HPGMG"):
+            speedups = model.apu_speedup(
+                app(profile=get_application(name))
+            )
+            assert speedups["cpu-only"] > 1.0, name
+            assert speedups["discrete"] >= 1.0, name

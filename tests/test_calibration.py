@@ -1,0 +1,103 @@
+"""Calibration machinery (no full refits — those run offline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DesignSpace, EHPConfig
+from repro.core.node import NodeModel
+from repro.util.units import MHZ, TB
+from repro.workloads.calibration import (
+    PAPER_TABLE2,
+    CalibrationTarget,
+    _Objective,
+)
+from repro.workloads.catalog import APPLICATIONS, get_application
+
+
+@pytest.fixture(scope="module")
+def objective():
+    return _Objective(
+        get_application("CoMD"),
+        PAPER_TABLE2["CoMD"],
+        DesignSpace(),
+        NodeModel(),
+    )
+
+
+class TestPaperTable2:
+    def test_eight_targets(self):
+        assert len(PAPER_TABLE2) == 8
+
+    def test_target_configs_valid(self):
+        for name, target in PAPER_TABLE2.items():
+            cfg = target.config
+            assert isinstance(cfg, EHPConfig)
+            assert cfg.n_cus <= 384
+
+    def test_benefit_with_opt_exceeds_without(self):
+        for target in PAPER_TABLE2.values():
+            assert target.benefit_opt_pct > target.benefit_pct
+
+    def test_known_values(self):
+        t = PAPER_TABLE2["MaxFlops"]
+        assert (t.n_cus, t.freq_mhz, t.bw_tbps) == (384, 925, 1)
+        assert t.benefit_pct == 10.7
+        assert t.benefit_opt_pct == 19.9
+
+
+class TestObjective:
+    def test_flat_index_roundtrip(self, objective):
+        cfg = EHPConfig(n_cus=256, gpu_freq=1100 * MHZ, bandwidth=4 * TB)
+        index = objective._flat_index(cfg)
+        assert objective.space.config_at(index).label() == cfg.label()
+
+    def test_profile_from_clips_to_bounds(self, objective):
+        x = [99.0, 99.0, 99.0, 99.0, 99.0, 999.0, 99.0]
+        profile = objective.profile_from(x)
+        assert profile.parallel_fraction <= 1.0
+        assert profile.cache_hit_rate <= 0.9
+
+    def test_calibrated_profile_has_near_zero_loss(self, objective):
+        # The shipped catalog parameters reproduce the fit: evaluating
+        # the objective at the baked values scores (nearly) zero.
+        p = get_application("CoMD")
+        x = [
+            p.bytes_per_flop, p.parallel_fraction, p.cache_hit_rate,
+            p.thrash_pressure, p.latency_sensitivity, p.mlp_per_cu,
+            p.cu_utilization,
+        ]
+        assert objective(x) < 0.1
+
+    def test_argmax_distance_zero_at_target(self, objective):
+        assert objective._argmax_distance(objective.target_index) == 0.0
+
+    def test_argmax_distance_positive_elsewhere(self, objective):
+        assert objective._argmax_distance(objective.mean_index) > 0.0
+
+    def test_caps_drop_target_index(self):
+        target = PAPER_TABLE2["CoMD"]
+        space = DesignSpace()
+        obj = _Objective(
+            get_application("CoMD"), target, space, NodeModel(),
+            caps={0: 0.1},
+        )
+        assert obj.target_index not in obj.caps
+        assert 0 in obj.caps
+
+
+class TestAllCalibratedProfiles:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE2))
+    def test_baked_parameters_reproduce_fit(self, name):
+        space = DesignSpace()
+        model = NodeModel()
+        profile = get_application(name)
+        obj = _Objective(profile, PAPER_TABLE2[name], space, model)
+        x = [
+            profile.bytes_per_flop, profile.parallel_fraction,
+            profile.cache_hit_rate, profile.thrash_pressure,
+            profile.latency_sensitivity, profile.mlp_per_cu,
+            profile.cu_utilization,
+        ]
+        # HPGMG retains a small shape-penalty residual; everything else
+        # sits at (near) zero loss.
+        assert obj(x) < 3.0

@@ -1,0 +1,46 @@
+"""Command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig8", "table2", "dse"):
+            assert name in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "Exaflops" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig7" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "table1", "table2", "dse",
+            *(f"fig{i}" for i in range(4, 15)),
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_every_registered_experiment_runs(self):
+        # Smoke-run the fast ones; the slow thermal pair is covered by
+        # their dedicated tests and benches.
+        skip = {"fig10", "fig11", "dse", "table2"}
+        for name, fn in EXPERIMENTS.items():
+            if name in skip:
+                continue
+            result = fn()
+            assert result.rendered, name

@@ -1,0 +1,133 @@
+"""Design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_BEST_MEAN, DesignSpace
+from repro.core.dse import best_config_for, best_mean_config, explore
+from repro.core.node import NodeModel
+from repro.workloads.catalog import APPLICATIONS, get_application
+
+
+@pytest.fixture(scope="module")
+def full_result():
+    return explore(list(APPLICATIONS.values()))
+
+
+class TestExplore:
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            explore([])
+
+    def test_duplicate_names_rejected(self):
+        p = get_application("CoMD")
+        with pytest.raises(ValueError):
+            explore([p, p])
+
+    def test_every_app_has_feasible_points(self, full_result):
+        for name, mask in full_result.feasible.items():
+            assert mask.any(), name
+
+    def test_best_mean_feasible_for_all(self, full_result):
+        assert full_result.all_feasible_mask()[full_result.best_mean_index]
+
+    def test_per_app_best_at_least_best_mean(self, full_result):
+        for name in full_result.performance:
+            perf = full_result.performance[name]
+            assert (
+                perf[full_result.per_app_best_index[name]]
+                >= perf[full_result.best_mean_index] - 1e-9
+            )
+
+    def test_power_respects_budget_at_optima(self, full_result):
+        budget = full_result.space.power_budget
+        for name in full_result.node_power:
+            i = full_result.per_app_best_index[name]
+            assert float(full_result.node_power[name][i]) <= budget
+
+    def test_mean_performance_is_geomean(self, full_result):
+        mean = full_result.mean_performance()
+        stacked = np.stack(
+            [full_result.performance[n] for n in full_result.performance]
+        )
+        manual = np.exp(np.log(stacked).mean(axis=0))
+        np.testing.assert_allclose(mean, manual)
+
+    def test_benefit_over_mean_formula(self, full_result):
+        name = "CoMD"
+        perf = full_result.performance[name]
+        expected = (
+            perf[full_result.per_app_best_index[name]]
+            / perf[full_result.best_mean_index]
+            - 1.0
+        ) * 100.0
+        assert full_result.benefit_over_mean(name) == pytest.approx(
+            float(expected)
+        )
+
+
+class TestCalibratedOptima:
+    """Each application's model argmax reproduces its Table II config."""
+
+    @pytest.mark.parametrize(
+        "app,expected",
+        [
+            ("LULESH", (256, 1100e6, 4e12)),
+            ("MiniAMR", (256, 1200e6, 4e12)),
+            ("XSBench", (224, 1400e6, 5e12)),
+            ("SNAP", (384, 700e6, 5e12)),
+            ("CoMD", (192, 1500e6, 6e12)),
+            ("CoMD-LJ", (224, 1300e6, 6e12)),
+            ("HPGMG", (352, 900e6, 7e12)),
+            ("MaxFlops", (384, 925e6, 1e12)),
+        ],
+    )
+    def test_table2_configs(self, full_result, app, expected):
+        cfg = full_result.best_config(app)
+        assert (cfg.n_cus, cfg.gpu_freq, cfg.bandwidth) == expected
+
+    def test_best_mean_in_paper_neighbourhood(self, full_result):
+        # The model's joint argmax should land near the paper's
+        # 320/1000/3: hundreds of GHz.CU of compute and 3-5 TB/s.
+        cfg = full_result.best_mean_config
+        assert 3e12 <= cfg.bandwidth <= 5e12
+        assert 250e9 <= cfg.n_cus * cfg.gpu_freq <= 340e9
+
+    def test_paper_best_mean_close_to_model_argmax(self, full_result):
+        mean = full_result.mean_performance()
+        space = full_result.space
+        i_cu = list(space.cu_counts).index(PAPER_BEST_MEAN.n_cus)
+        i_f = list(space.frequencies).index(PAPER_BEST_MEAN.gpu_freq)
+        i_b = list(space.bandwidths).index(PAPER_BEST_MEAN.bandwidth)
+        paper_index = (
+            i_cu * len(space.frequencies) + i_f
+        ) * len(space.bandwidths) + i_b
+        ratio = mean[full_result.best_mean_index] / mean[paper_index]
+        assert ratio < 1.25  # documented deviation in EXPERIMENTS.md
+
+
+class TestConvenienceWrappers:
+    def test_best_config_for_single_app(self):
+        cfg = best_config_for(get_application("MaxFlops"))
+        assert (cfg.n_cus, cfg.gpu_freq, cfg.bandwidth) == (
+            384, 925e6, 1e12
+        )
+
+    def test_best_mean_config_runs(self):
+        cfg = best_mean_config(
+            [get_application("CoMD"), get_application("MaxFlops")]
+        )
+        assert cfg.n_cus in DesignSpace().cu_counts
+
+
+class TestSmallSpace:
+    def test_explore_on_coarse_grid(self, small_space):
+        result = explore(
+            [get_application("CoMD")], small_space, NodeModel()
+        )
+        assert 0 <= result.best_mean_index < small_space.size
+
+    def test_infeasible_budget_raises(self):
+        space = DesignSpace(power_budget=1.0)
+        with pytest.raises(RuntimeError):
+            explore([get_application("CoMD")], space)

@@ -1,0 +1,103 @@
+"""NodeModel evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_BEST_MEAN, EHPConfig
+from repro.core.node import NodeModel
+from repro.power.breakdown import ExternalMemoryConfig
+from repro.power.components import PowerParams
+from repro.workloads.catalog import get_application
+
+
+class TestEvaluate:
+    def test_scalar_evaluation(self, model):
+        ev = model.evaluate(get_application("CoMD"), PAPER_BEST_MEAN)
+        assert float(ev.performance) > 0
+        assert float(ev.node_power) > 0
+        assert float(ev.ehp_power) < float(ev.node_power)
+
+    def test_maxflops_hits_paper_teraflops(self, model):
+        # 18.6 DP teraflops at 320 CUs / 1 GHz (Section V-F).
+        ev = model.evaluate(get_application("MaxFlops"), PAPER_BEST_MEAN)
+        assert float(ev.performance) / 1e12 == pytest.approx(18.6, rel=0.03)
+
+    def test_all_apps_feasible_at_best_mean(self, model, apps):
+        # The DSE requires every application to fit the 160 W budget at
+        # the best-mean configuration.
+        for profile in apps.values():
+            ev = model.evaluate(profile, PAPER_BEST_MEAN)
+            assert float(ev.node_power) <= 160.0, profile.name
+
+    def test_ext_fraction_changes_power_not_config(self, model):
+        p = get_application("SNAP")
+        ev0 = model.evaluate(p, PAPER_BEST_MEAN, ext_fraction=0.0)
+        ev1 = model.evaluate(
+            p, PAPER_BEST_MEAN, ext_fraction=p.ext_memory_fraction
+        )
+        assert float(ev1.power.ext_memory_dynamic) > float(
+            ev0.power.ext_memory_dynamic
+        )
+
+    def test_perf_per_watt_consistency(self, model):
+        ev = model.evaluate(get_application("CoMD"), PAPER_BEST_MEAN)
+        assert float(ev.perf_per_watt) == pytest.approx(
+            float(ev.performance) / float(ev.node_power)
+        )
+
+    def test_energy_is_power_times_time(self, model):
+        ev = model.evaluate(get_application("CoMD"), PAPER_BEST_MEAN)
+        assert float(ev.energy) == pytest.approx(
+            float(ev.node_power) * float(ev.metrics.time)
+        )
+
+
+class TestEvaluateArrays:
+    def test_vectorized_grid(self, model):
+        p = get_application("LULESH")
+        cus = np.array([192.0, 256.0, 320.0, 384.0])
+        ev = model.evaluate_arrays(p, cus, 1e9, 3e12)
+        assert ev.performance.shape == (4,)
+        assert np.all(np.asarray(ev.node_power) > 0)
+
+    def test_matches_scalar_path(self, model):
+        p = get_application("LULESH")
+        vec = model.evaluate_arrays(p, np.array([320.0]), 1e9, 3e12)
+        scalar = model.evaluate(p, PAPER_BEST_MEAN)
+        assert float(vec.performance[0]) == pytest.approx(
+            float(scalar.performance), rel=1e-12
+        )
+
+
+class TestModelVariants:
+    def test_with_power_params(self, model):
+        cheap = PowerParams(cpu_cluster_watt=0.0)
+        variant = model.with_power_params(cheap)
+        p = get_application("CoMD")
+        assert float(
+            variant.evaluate(p, PAPER_BEST_MEAN).node_power
+        ) < float(model.evaluate(p, PAPER_BEST_MEAN).node_power)
+        # Original model untouched.
+        assert model.power_params.cpu_cluster_watt > 0
+
+    def test_with_ext_config(self, model):
+        hybrid = model.with_ext_config(ExternalMemoryConfig.hybrid())
+        p = get_application("SNAP")
+        base_power = float(
+            model.evaluate(
+                p, PAPER_BEST_MEAN, ext_fraction=p.ext_memory_fraction
+            ).node_power
+        )
+        hybrid_power = float(
+            hybrid.evaluate(
+                p, PAPER_BEST_MEAN, ext_fraction=p.ext_memory_fraction
+            ).node_power
+        )
+        # NVM's dynamic energy dominates for SNAP (Fig. 9 Finding 2).
+        assert hybrid_power > base_power
+
+    def test_performance_convenience(self, model):
+        p = get_application("CoMD")
+        assert model.performance(p, PAPER_BEST_MEAN) == pytest.approx(
+            float(model.evaluate(p, PAPER_BEST_MEAN).performance)
+        )

@@ -1,0 +1,163 @@
+"""DVFS governor and checkpoint/restart models."""
+
+import math
+
+import pytest
+
+from repro.core.config import PAPER_BEST_MEAN
+from repro.core.governor import (
+    DvfsGovernor,
+    GovernorDecision,
+    PhaseObservation,
+)
+from repro.core.node import NodeModel
+from repro.ras.checkpoint import CheckpointModel
+from repro.workloads.catalog import get_application
+
+
+class TestPhaseObservation:
+    def test_measure_from_model(self):
+        obs = PhaseObservation.measure(
+            NodeModel(), get_application("LULESH"), PAPER_BEST_MEAN
+        )
+        assert obs.ops_per_byte > 0
+        assert 0.0 <= obs.bw_utilization <= 1.0
+
+    def test_compute_kernel_high_ops_per_byte(self):
+        hot = PhaseObservation.measure(
+            NodeModel(), get_application("MaxFlops"), PAPER_BEST_MEAN
+        )
+        cold = PhaseObservation.measure(
+            NodeModel(), get_application("SNAP"), PAPER_BEST_MEAN
+        )
+        assert hot.ops_per_byte > cold.ops_per_byte
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseObservation(-1.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            PhaseObservation(1.0, 1.5, 0.5)
+
+
+class TestDvfsGovernor:
+    @pytest.fixture(scope="class")
+    def governor(self):
+        return DvfsGovernor(max_perf_loss=0.02)
+
+    def test_compute_kernel_left_alone(self, governor):
+        # MaxFlops uses everything; any back-off costs >2% performance.
+        d = governor.decide(get_application("MaxFlops"), PAPER_BEST_MEAN)
+        assert d.config == PAPER_BEST_MEAN
+        assert d.gated_cus == 0
+
+    def test_memory_kernel_backed_off(self, governor):
+        # Thrash-prone kernels gain efficiency (and sometimes raw
+        # performance) from gating CUs or lowering frequency.
+        d = governor.decide(get_application("LULESH"), PAPER_BEST_MEAN)
+        changed = d.config != PAPER_BEST_MEAN
+        assert changed
+        assert d.predicted_perf_loss <= 0.02
+
+    def test_decision_improves_perf_per_watt(self, governor):
+        model = NodeModel()
+        p = get_application("SNAP")
+        d = governor.decide(p, PAPER_BEST_MEAN)
+        base = model.evaluate(p, PAPER_BEST_MEAN)
+        governed = model.evaluate(p, d.config)
+        assert float(governed.perf_per_watt) >= float(base.perf_per_watt)
+
+    def test_governor_never_raises_frequency(self, governor):
+        for name in ("LULESH", "CoMD", "SNAP"):
+            d = governor.decide(get_application(name), PAPER_BEST_MEAN)
+            assert d.config.gpu_freq <= PAPER_BEST_MEAN.gpu_freq
+
+    def test_run_phases_saves_energy(self, governor):
+        phases = [
+            get_application("LULESH"),
+            get_application("SNAP"),
+            get_application("MaxFlops"),
+        ]
+        out = governor.run_phases(phases, PAPER_BEST_MEAN)
+        assert out["energy_saving"] > 0.0
+        assert out["governed_energy_j"] < out["base_energy_j"]
+
+    def test_perf_loss_budget_respected(self):
+        strict = DvfsGovernor(max_perf_loss=0.0)
+        d = strict.decide(get_application("CoMD"), PAPER_BEST_MEAN)
+        assert d.predicted_perf_loss <= 0.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DvfsGovernor(freq_ladder=[])
+        with pytest.raises(ValueError):
+            DvfsGovernor(cu_gate_step=0)
+        with pytest.raises(ValueError):
+            DvfsGovernor(max_perf_loss=1.0)
+        with pytest.raises(ValueError):
+            DvfsGovernor().run_phases([], PAPER_BEST_MEAN)
+
+
+class TestCheckpointModel:
+    def test_optimal_interval_is_young(self):
+        cm = CheckpointModel()
+        mttf = 3600.0
+        assert cm.optimal_interval(mttf) == pytest.approx(
+            math.sqrt(2.0 * cm.checkpoint_cost_s * mttf)
+        )
+
+    def test_efficiency_increases_with_mttf(self):
+        cm = CheckpointModel()
+        effs = [cm.efficiency(m) for m in (600.0, 3600.0, 86400.0)]
+        assert effs == sorted(effs)
+        assert all(0.0 < e < 1.0 for e in effs)
+
+    def test_optimal_interval_beats_fixed(self):
+        cm = CheckpointModel()
+        mttf = 7200.0
+        best = cm.efficiency(mttf)
+        for factor in (0.2, 0.5, 2.0, 5.0):
+            tau = cm.optimal_interval(mttf) * factor
+            assert cm.efficiency(mttf, tau) <= best + 1e-3
+
+    def test_plan_summary(self):
+        cm = CheckpointModel()
+        plan = cm.plan(3600.0)
+        assert plan.overhead == pytest.approx(1.0 - plan.efficiency)
+        assert plan.mttf_s == 3600.0
+
+    def test_cheaper_checkpoints_raise_efficiency(self):
+        slow = CheckpointModel(io_bandwidth=10e9)
+        fast = CheckpointModel(io_bandwidth=200e9)
+        assert fast.efficiency(3600.0) > slow.efficiency(3600.0)
+
+    def test_required_mttf_inverts_efficiency(self):
+        cm = CheckpointModel()
+        mttf = cm.required_mttf_for_efficiency(0.98)
+        assert cm.efficiency(mttf) == pytest.approx(0.98, abs=0.002)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointModel(io_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            CheckpointModel().efficiency(0.0)
+        with pytest.raises(ValueError):
+            CheckpointModel().required_mttf_for_efficiency(1.5)
+
+
+class TestRasToCheckpointPipeline:
+    def test_system_mttf_drives_machine_efficiency(self):
+        # End-to-end: protection choice -> system MTTF -> delivered
+        # machine efficiency under optimal checkpointing.
+        from repro.ras.ecc import Chipkill, SECDED
+        from repro.ras.mttf import SystemReliability
+        from repro.ras.rmt import RmtCostModel
+
+        cm = CheckpointModel()
+        weak = SystemReliability(memory_ecc=SECDED)
+        strong = SystemReliability(
+            memory_ecc=Chipkill, rmt=RmtCostModel(detection_coverage=0.999)
+        )
+        eff_weak = cm.efficiency(weak.system_mttf_hours() * 3600.0)
+        eff_strong = cm.efficiency(strong.system_mttf_hours() * 3600.0)
+        assert eff_strong > eff_weak
+        assert eff_strong > 0.9

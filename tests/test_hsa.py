@@ -1,0 +1,217 @@
+"""HSA substrate: queues, signals, offload models, DAG execution."""
+
+import pytest
+
+from repro.hsa.offload import (
+    DagExecutor,
+    OffloadCostModel,
+    Task,
+    TaskGraph,
+)
+from repro.hsa.queues import (
+    AqlPacket,
+    CompletionSignal,
+    PacketState,
+    UserModeQueue,
+)
+
+
+class TestCompletionSignal:
+    def test_decrement_to_zero_fires_waiters(self):
+        sig = CompletionSignal(value=2)
+        fired = []
+        sig.subscribe(lambda: fired.append(1))
+        sig.decrement()
+        assert not fired
+        sig.decrement()
+        assert fired == [1]
+
+    def test_subscribe_after_zero_fires_immediately(self):
+        sig = CompletionSignal(value=0)
+        fired = []
+        sig.subscribe(lambda: fired.append(1))
+        assert fired == [1]
+
+    def test_over_decrement_rejected(self):
+        sig = CompletionSignal(value=1)
+        sig.decrement()
+        with pytest.raises(RuntimeError):
+            sig.decrement()
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            CompletionSignal(value=-1)
+
+
+class TestUserModeQueue:
+    def test_submit_rings_doorbell(self):
+        q = UserModeQueue("q")
+        q.submit(AqlPacket("a"))
+        assert q.doorbell_rings == 1
+        assert len(q) == 1
+
+    def test_pop_ready_launches_in_order(self):
+        q = UserModeQueue("q")
+        q.submit(AqlPacket("a"))
+        q.submit(AqlPacket("b"))
+        ready = q.pop_ready()
+        assert [p.name for p in ready] == ["a", "b"]
+        assert all(p.state is PacketState.LAUNCHED for p in ready)
+
+    def test_barrier_blocks_until_earlier_complete(self):
+        q = UserModeQueue("q")
+        a = AqlPacket("a")
+        bar = AqlPacket("bar", barrier=True)
+        c = AqlPacket("c")
+        q.submit(a)
+        q.submit(bar)
+        q.submit(c)
+        first = q.pop_ready()
+        assert [p.name for p in first] == ["a"]
+        assert q.pop_ready() == []  # barrier waits on a
+        q.complete(a)
+        second = q.pop_ready()
+        assert [p.name for p in second] == ["bar"]
+        q.complete(bar)
+        assert [p.name for p in q.pop_ready()] == ["c"]
+
+    def test_complete_fires_signal(self):
+        q = UserModeQueue("q")
+        p = AqlPacket("a")
+        q.submit(p)
+        q.pop_ready()
+        q.complete(p)
+        assert p.completion.is_set
+        assert p.state is PacketState.COMPLETE
+
+    def test_queue_depth_enforced(self):
+        q = UserModeQueue("q", depth=1)
+        q.submit(AqlPacket("a"))
+        with pytest.raises(RuntimeError):
+            q.submit(AqlPacket("b"))
+
+    def test_idle_tracking(self):
+        q = UserModeQueue("q")
+        assert q.idle
+        p = AqlPacket("a")
+        q.submit(p)
+        assert not q.idle
+        q.pop_ready()
+        q.complete(p)
+        assert q.idle
+
+
+class TestOffloadCostModel:
+    def test_hsa_much_cheaper_than_legacy(self):
+        m = OffloadCostModel()
+        assert m.hsa_dispatch_cost() < m.legacy_dispatch_cost(0.0)
+
+    def test_legacy_cost_scales_with_data(self):
+        m = OffloadCostModel()
+        small = m.legacy_dispatch_cost(1e6)
+        big = m.legacy_dispatch_cost(1e9)
+        assert big > small
+
+    def test_hsa_cost_data_independent(self):
+        # The defining HSA property: pointers are exchanged, not data.
+        m = OffloadCostModel()
+        assert m.hsa_dispatch_cost() == m.hsa_dispatch_cost()
+
+    def test_speedup_largest_for_short_kernels(self):
+        m = OffloadCostModel()
+        short = m.speedup_per_dispatch(1e9, kernel_time=100e-6)
+        long = m.speedup_per_dispatch(1e9, kernel_time=100e-3)
+        assert short > long > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffloadCostModel(copy_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            OffloadCostModel().legacy_dispatch_cost(-1.0)
+        with pytest.raises(ValueError):
+            OffloadCostModel().speedup_per_dispatch(0.0, 0.0)
+
+
+def diamond_graph() -> TaskGraph:
+    g = TaskGraph()
+    g.add(Task("prep", "cpu", 1e-3))
+    g.add(Task("force", "gpu", 4e-3, bytes_touched=1e9, depends_on=("prep",)))
+    g.add(Task("neigh", "gpu", 2e-3, bytes_touched=5e8, depends_on=("prep",)))
+    g.add(Task("reduce", "cpu", 1e-3, depends_on=("force", "neigh")))
+    return g
+
+
+class TestTaskGraph:
+    def test_duplicate_rejected(self):
+        g = TaskGraph()
+        g.add(Task("a", "cpu", 1.0))
+        with pytest.raises(ValueError):
+            g.add(Task("a", "gpu", 1.0))
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add(Task("a", "cpu", 1.0, depends_on=("ghost",)))
+
+    def test_roots_and_dependants(self):
+        g = diamond_graph()
+        assert [t.name for t in g.roots()] == ["prep"]
+        assert {t.name for t in g.dependants_of("prep")} == {
+            "force", "neigh",
+        }
+
+    def test_critical_path(self):
+        g = diamond_graph()
+        assert g.critical_path() == pytest.approx(1e-3 + 4e-3 + 1e-3)
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            Task("x", "tpu", 1.0)
+        with pytest.raises(ValueError):
+            Task("x", "cpu", 0.0)
+
+
+class TestDagExecutor:
+    def test_respects_dependencies(self):
+        result = DagExecutor().run(diamond_graph())
+        assert result.finish_times["prep"] < result.finish_times["force"]
+        assert result.finish_times["force"] < result.finish_times["reduce"]
+        assert result.finish_times["neigh"] < result.finish_times["reduce"]
+
+    def test_makespan_bounded_by_critical_path(self):
+        g = diamond_graph()
+        result = DagExecutor().run(g)
+        assert result.makespan >= g.critical_path()
+
+    def test_gpu_tasks_serialize_on_one_agent(self):
+        g = diamond_graph()
+        result = DagExecutor().run(g)
+        # force (4 ms) and neigh (2 ms) share the GPU: busy time 6 ms.
+        assert result.agent_busy["gpu"] == pytest.approx(6e-3)
+
+    def test_hsa_beats_legacy_on_copy_heavy_graphs(self):
+        g = diamond_graph()
+        hsa = DagExecutor(regime="hsa").run(g)
+        legacy = DagExecutor(regime="legacy").run(g)
+        assert legacy.makespan > hsa.makespan * 2.0
+
+    def test_regimes_equal_without_data(self):
+        g = TaskGraph()
+        g.add(Task("a", "gpu", 1e-3, bytes_touched=0.0))
+        hsa = DagExecutor(regime="hsa").run(g)
+        legacy = DagExecutor(regime="legacy").run(g)
+        # Only the fixed launch overheads differ.
+        assert legacy.makespan - hsa.makespan < 50e-6
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            DagExecutor().run(TaskGraph())
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            DagExecutor(regime="magic")
+
+    def test_utilization(self):
+        result = DagExecutor().run(diamond_graph())
+        assert 0.0 < result.utilization("gpu") <= 1.0
+        assert result.utilization("nonexistent") == 0.0

@@ -1,0 +1,129 @@
+"""Cross-module integration: analytic model vs simulator, full pipelines."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    APPLICATIONS,
+    EHPConfig,
+    NodeModel,
+    PAPER_BEST_MEAN,
+    get_application,
+)
+from repro.perfmodel.roofline import evaluate_kernel
+from repro.sim.apu_sim import ApuSimConfig, ApuSimulator
+from repro.thermal.analysis import ThermalModel
+from repro.workloads.traces import TraceGenerator
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        # The module docstring's example must work verbatim.
+        model = NodeModel()
+        lulesh = get_application("LULESH")
+        result = model.evaluate(lulesh, EHPConfig(n_cus=320))
+        assert float(result.performance) > 0
+        assert float(result.node_power) > 0
+
+
+class TestModelVsSimulator:
+    """The analytic model and the trace-driven simulator agree on the
+    orderings that drive every conclusion in the paper."""
+
+    @staticmethod
+    def _sim_rate(app, **cfg):
+        profile = get_application(app)
+        trace = TraceGenerator(profile, seed=7).generate(6000)
+        return ApuSimulator(ApuSimConfig(**cfg)).run(trace).flops_rate
+
+    @staticmethod
+    def _model_rate(app, bandwidth=150e9):
+        # Scale the analytic model to the simulator's 16-CU machine.
+        profile = get_application(app)
+        m = evaluate_kernel(profile, 16, 1e9, bandwidth)
+        return float(m.flops_rate)
+
+    def test_category_ordering_agrees(self):
+        sim = {
+            a: self._sim_rate(a) for a in ("MaxFlops", "CoMD", "SNAP")
+        }
+        model = {
+            a: self._model_rate(a) for a in ("MaxFlops", "CoMD", "SNAP")
+        }
+        assert sorted(sim, key=sim.get) == sorted(model, key=model.get)
+
+    def test_bandwidth_sensitivity_agrees(self):
+        # Starve the memory system (10 GB/s) so the bandwidth roof binds
+        # in both the simulator and the analytic model, then widen it.
+        for app, sensitive in (("MaxFlops", False), ("SNAP", True)):
+            sim_gain = self._sim_rate(app, dram_bandwidth=200e9) / (
+                self._sim_rate(app, dram_bandwidth=10e9)
+            )
+            model_gain = self._model_rate(app, 200e9) / self._model_rate(
+                app, 10e9
+            )
+            if sensitive:
+                assert sim_gain > 1.3 and model_gain > 1.3, app
+            else:
+                assert sim_gain < 1.2 and model_gain < 1.2, app
+
+
+class TestEndToEndPipelines:
+    def test_evaluate_then_thermal(self):
+        model = NodeModel()
+        thermal = ThermalModel(nx=33, ny=11)
+        for profile in APPLICATIONS.values():
+            ev = model.evaluate(
+                profile, PAPER_BEST_MEAN,
+                ext_fraction=profile.ext_memory_fraction,
+            )
+            report = thermal.analyze(ev.power)
+            assert 50.0 < report.peak_dram_c < 85.0, profile.name
+
+    def test_trace_to_cache_to_hit_rate(self):
+        from repro.sim.cache_sim import CacheSim
+
+        profile = get_application("XSBench")
+        trace = TraceGenerator(profile, seed=3).generate(20000)
+        sim = CacheSim.ehp_default(n_cus=32)
+        out = sim.run_trace(trace.addresses)
+        # Irregular kernels leave a substantial DRAM fraction.
+        assert out["dram_fraction"] > 0.05
+
+    def test_memory_manager_feeds_mlm_model(self):
+        from repro.memsys.manager import (
+            HotnessMigrationPolicy,
+            MemoryManager,
+        )
+        from repro.perfmodel.mlm import miss_rate_sweep
+
+        profile = get_application("LULESH")
+        rng = np.random.default_rng(5)
+        pages = rng.zipf(1.5, size=30000) % 2048
+        mgr = MemoryManager(256 * 4096, HotnessMigrationPolicy())
+        mgr.epoch(pages * 4096)
+        hit = mgr.epoch(pages * 4096)
+        miss = 1.0 - hit
+        rel = miss_rate_sweep(
+            profile, 320, 1e9, 3e12, miss_rates=(0.0, miss)
+        )
+        # Achieved placement quality maps to a concrete slowdown.
+        assert 0.0 < rel[1] <= 1.0
+
+    def test_dse_result_feeds_exascale(self):
+        from repro.core.dse import explore
+        from repro.core.exascale import ExascaleSystem
+
+        profile = get_application("MaxFlops")
+        result = explore([profile])
+        cfg = result.best_config("MaxFlops")
+        est = ExascaleSystem().estimate(profile, cfg)
+        assert est.exaflops > 1.0

@@ -1,0 +1,122 @@
+"""HBM stack and NVM module models."""
+
+import pytest
+
+from repro.memsys.dram import HBMStack, HBMTimings, hbm_generation
+from repro.memsys.nvm import NVMModule, NVMParams
+
+
+class TestHbmGenerations:
+    def test_gen1_matches_jedec(self):
+        cap, bw = hbm_generation(1)
+        assert cap == pytest.approx(1e9)
+        assert bw == pytest.approx(128e9)
+
+    def test_gen2_matches_paper(self):
+        cap, bw = hbm_generation(2)
+        # Paper quotes 8 GB per stack for HBM2-class capacity points; the
+        # per-generation *doubling* model starts from 1 GB, so gen-2
+        # capacity is the 2 GB doubling step.
+        assert cap == pytest.approx(2e9)
+        assert bw == pytest.approx(256e9)
+
+    def test_exascale_generation_projection(self):
+        # Section II-B1: 32 GB and one more bandwidth doubling.
+        cap, bw = hbm_generation(6)
+        assert cap == pytest.approx(32e9)
+        assert bw == pytest.approx(512e9)
+
+    def test_eight_stacks_meet_targets(self):
+        stack = HBMStack()
+        assert 8 * stack.capacity == pytest.approx(256e9)
+        assert 8 * stack.bandwidth == pytest.approx(4.096e12, rel=0.05)
+
+    def test_invalid_generation(self):
+        with pytest.raises(ValueError):
+            hbm_generation(0)
+
+    def test_from_generation(self):
+        s = HBMStack.from_generation(6)
+        assert s.capacity == pytest.approx(32e9)
+
+
+class TestHbmStack:
+    def test_refresh_penalty_below_limit(self):
+        s = HBMStack()
+        assert s.effective_bandwidth(60.0) == pytest.approx(
+            s.bandwidth * 0.95
+        )
+
+    def test_refresh_doubles_above_85c(self):
+        # Section V-D: DRAM above 85 C needs doubled refresh.
+        s = HBMStack()
+        assert s.effective_bandwidth(90.0) < s.effective_bandwidth(84.9)
+
+    def test_service_latency_interpolates(self):
+        s = HBMStack()
+        t = s.timings
+        assert s.service_latency(1.0) == t.row_hit_latency
+        assert s.service_latency(0.0) == t.row_miss_latency
+        assert (
+            t.row_hit_latency
+            < s.service_latency(0.5)
+            < t.row_miss_latency
+        )
+
+    def test_sustained_rate_littles_law(self):
+        s = HBMStack()
+        rate = s.sustained_request_rate(1.0)
+        assert rate == pytest.approx(
+            s.timings.n_banks / s.timings.row_hit_latency
+        )
+
+    def test_hit_rate_bounds(self):
+        with pytest.raises(ValueError):
+            HBMStack().service_latency(1.5)
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            HBMTimings(row_hit_latency=100e-9, row_miss_latency=50e-9)
+
+
+class TestNvmModule:
+    def test_density_advantage(self):
+        # Paper footnote: NVM modules are 4x the capacity of DRAM modules.
+        assert NVMModule().capacity == pytest.approx(4 * 64e9)
+
+    def test_write_energy_exceeds_read(self):
+        p = NVMParams()
+        assert p.write_energy_per_bit > p.read_energy_per_bit
+
+    def test_access_energy_mixes_reads_and_writes(self):
+        m = NVMModule()
+        reads = m.access_energy(1e6, 0.0)
+        writes = m.access_energy(1e6, 1.0)
+        mixed = m.access_energy(1e6, 0.5)
+        assert reads < mixed < writes
+        assert mixed == pytest.approx((reads + writes) / 2)
+
+    def test_mean_latency_write_heavier(self):
+        m = NVMModule()
+        assert m.mean_latency(0.9) > m.mean_latency(0.1)
+
+    def test_lifetime_infinite_without_writes(self):
+        assert NVMModule().lifetime_seconds(0.0) == float("inf")
+
+    def test_lifetime_decreases_with_write_rate(self):
+        m = NVMModule()
+        assert m.lifetime_seconds(1e9) > m.lifetime_seconds(1e10)
+
+    def test_wear_leveling_derates(self):
+        m = NVMModule()
+        ideal = m.lifetime_seconds(1e9, wear_leveling_efficiency=1.0)
+        real = m.lifetime_seconds(1e9, wear_leveling_efficiency=0.5)
+        assert real == pytest.approx(ideal / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NVMModule().access_energy(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            NVMModule().access_energy(1.0, 1.5)
+        with pytest.raises(ValueError):
+            NVMModule().lifetime_seconds(1e9, wear_leveling_efficiency=0.0)

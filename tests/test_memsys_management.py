@@ -1,0 +1,132 @@
+"""Two-level memory management and the DRAM-cache mode."""
+
+import numpy as np
+import pytest
+
+from repro.memsys.dramcache import DramCache
+from repro.memsys.manager import (
+    FirstTouchPolicy,
+    HotnessMigrationPolicy,
+    MemoryLevel,
+    MemoryManager,
+)
+
+PAGE = 4096
+
+
+def addresses(pages):
+    return np.asarray(pages, dtype=np.int64) * PAGE
+
+
+class TestFirstTouchPolicy:
+    def test_fills_then_spills(self):
+        mgr = MemoryManager(2 * PAGE, FirstTouchPolicy())
+        mgr.epoch(addresses([0, 1, 2, 3]))
+        levels = mgr.placement
+        in_pkg = [p for p, l in levels.items() if l is MemoryLevel.IN_PACKAGE]
+        assert len(in_pkg) == 2
+
+    def test_never_migrates(self):
+        mgr = MemoryManager(2 * PAGE, FirstTouchPolicy())
+        mgr.epoch(addresses([0, 1, 2, 3]))
+        mgr.epoch(addresses([2, 3, 2, 3]))  # hot pages are external now
+        assert mgr.total_migrated == 0
+
+
+class TestHotnessMigrationPolicy:
+    def test_migrates_hot_pages_in(self):
+        mgr = MemoryManager(2 * PAGE, HotnessMigrationPolicy())
+        # Warm-up places cold pages 10, 11 in-package.
+        mgr.epoch(addresses([10, 11]))
+        # Hot pages 0, 1 dominate the next epoch.
+        mgr.epoch(addresses([0, 0, 0, 1, 1, 1, 10]))
+        hot_levels = {
+            p: mgr.placement[p] for p in (0, 1)
+        }
+        assert all(l is MemoryLevel.IN_PACKAGE for l in hot_levels.values())
+
+    def test_hit_fraction_improves_over_epochs(self):
+        mgr = MemoryManager(2 * PAGE, HotnessMigrationPolicy())
+        mgr.epoch(addresses([10, 11]))
+        hot = addresses([0, 0, 0, 1, 1, 1])
+        first = mgr.epoch(hot)
+        second = mgr.epoch(hot)
+        assert second > first
+
+    def test_migration_limit_respected(self):
+        mgr = MemoryManager(
+            4 * PAGE, HotnessMigrationPolicy(migration_limit=1)
+        )
+        mgr.epoch(addresses([0, 1, 2, 3]))
+        before = mgr.total_migrated
+        mgr.epoch(addresses([10, 10, 11, 11, 12, 12, 13, 13]))
+        assert mgr.total_migrated - before <= 1
+
+    def test_capacity_never_exceeded(self):
+        mgr = MemoryManager(3 * PAGE, HotnessMigrationPolicy())
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            mgr.epoch(addresses(rng.integers(0, 50, size=200)))
+            assert mgr.resident_pages <= 3
+
+    def test_migration_traffic_accounting(self):
+        mgr = MemoryManager(2 * PAGE, HotnessMigrationPolicy())
+        mgr.epoch(addresses([5, 6]))
+        mgr.epoch(addresses([0, 0, 1, 1]))
+        assert mgr.migration_traffic_bytes() == mgr.total_migrated * PAGE
+
+    def test_empty_epoch(self):
+        mgr = MemoryManager(2 * PAGE, HotnessMigrationPolicy())
+        assert mgr.epoch(np.array([], dtype=np.int64)) == 1.0
+
+
+class TestDramCache:
+    def test_cold_miss_then_hit(self):
+        cache = DramCache(capacity_bytes=1 << 20)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = DramCache(
+            capacity_bytes=8 * 4096, page_bytes=4096, associativity=2
+        )
+        # Two pages mapping to the same set (n_sets = 4): 0 and 4.
+        cache.access(0)
+        cache.access(4 * 4096)
+        cache.access(8 * 4096)  # evicts page 0 (LRU)
+        assert not cache.access(0)
+        assert cache.stats.evictions >= 1
+
+    def test_dirty_eviction_writes_back(self):
+        cache = DramCache(
+            capacity_bytes=8 * 4096, page_bytes=4096, associativity=2
+        )
+        cache.access(0, is_write=True)
+        cache.access(4 * 4096)
+        cache.access(8 * 4096)
+        assert cache.stats.writebacks >= 1
+
+    def test_run_trace(self):
+        cache = DramCache(capacity_bytes=1 << 20)
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 18, size=5000)
+        stats = cache.run_trace(addrs)
+        assert stats.accesses == 5000
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_capacity_loss_is_twenty_percent(self):
+        # Section II-B3: 256 GB cache over 1 TB external hides 20% of
+        # the addressable space.
+        cache = DramCache(capacity_bytes=256e9)
+        assert cache.addressable_capacity_loss(1.024e12) == pytest.approx(
+            0.2, abs=0.01
+        )
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DramCache(capacity_bytes=1024, page_bytes=4096, associativity=8)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            DramCache(capacity_bytes=1 << 20).access(-1)

@@ -1,0 +1,135 @@
+"""External memory network: chains, failures, interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.memsys.interleave import AddressInterleaver
+from repro.memsys.memnet import ExternalMemoryNetwork, MemoryModule
+
+
+class TestNetworkConstruction:
+    def test_dram_only_capacity_target(self):
+        net = ExternalMemoryNetwork.dram_only(1.0)
+        assert net.total_capacity == pytest.approx(1.024e12, rel=0.05)
+        assert net.n_modules == 16
+
+    def test_hybrid_fewer_modules_same_capacity(self):
+        dram = ExternalMemoryNetwork.dram_only(1.0)
+        hybrid = ExternalMemoryNetwork.hybrid(1.0)
+        assert hybrid.total_capacity == pytest.approx(
+            dram.total_capacity, rel=0.05
+        )
+        assert hybrid.n_modules < dram.n_modules
+
+    def test_modules_distributed_across_chains(self):
+        net = ExternalMemoryNetwork.dram_only(1.0)
+        lengths = [len(c.modules) for c in net.chains]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_aggregate_bandwidth(self):
+        net = ExternalMemoryNetwork.dram_only(1.0)
+        assert net.aggregate_bandwidth == pytest.approx(8 * 64e9)
+
+    def test_bad_module_kind(self):
+        with pytest.raises(ValueError):
+            MemoryModule("x", "flash", 1e9)
+
+
+class TestFailuresAndRedundancy:
+    def test_head_link_failure_cuts_chain_without_redundancy(self):
+        net = ExternalMemoryNetwork.dram_only(cross_linked=False)
+        net.fail_link(0, 0)
+        assert not net.is_reachable(0, 0)
+        assert not net.is_reachable(0, 1)
+
+    def test_cross_link_restores_reachability(self):
+        # Section II-B2: optional cross-links allow access to memory
+        # devices in the event of link failures.
+        net = ExternalMemoryNetwork.dram_only(cross_linked=True)
+        net.fail_link(0, 0)
+        assert net.is_reachable(0, 1)
+
+    def test_rerouted_latency_is_longer(self):
+        net = ExternalMemoryNetwork.dram_only(cross_linked=True)
+        direct = net.access_latency(0, 1)
+        net.fail_link(0, 0)
+        rerouted = net.access_latency(0, 1)
+        assert rerouted > direct
+
+    def test_mid_chain_failure_keeps_head_reachable(self):
+        net = ExternalMemoryNetwork.dram_only(cross_linked=False)
+        net.fail_link(0, 1)
+        assert net.is_reachable(0, 0)
+        assert not net.is_reachable(0, 1)
+
+    def test_repair_restores(self):
+        net = ExternalMemoryNetwork.dram_only(cross_linked=False)
+        net.fail_link(0, 0)
+        net.repair_link(0, 0)
+        assert net.is_reachable(0, 0)
+
+    def test_double_failure_defeats_redundancy(self):
+        net = ExternalMemoryNetwork.dram_only(cross_linked=True)
+        net.fail_link(0, 0)
+        # Break the partner chain too: the reverse path dies.
+        for hop in range(len(net.chains[1].modules)):
+            net.fail_link(1, hop)
+        assert not net.is_reachable(0, 1)
+        with pytest.raises(RuntimeError):
+            net.access_latency(0, 1)
+
+    def test_aggregate_bandwidth_drops_with_dead_chain(self):
+        net = ExternalMemoryNetwork.dram_only(cross_linked=False)
+        before = net.aggregate_bandwidth
+        net.fail_link(0, 0)
+        assert net.aggregate_bandwidth < before
+
+    def test_bounds_checked(self):
+        net = ExternalMemoryNetwork.dram_only()
+        with pytest.raises(IndexError):
+            net.fail_link(99, 0)
+        with pytest.raises(IndexError):
+            net.fail_link(0, 99)
+
+
+class TestAddressInterleaver:
+    def test_round_robin_channels(self):
+        il = AddressInterleaver(n_channels=8, granularity=4096)
+        assert il.channel_of(0) == 0
+        assert il.channel_of(4096) == 1
+        assert il.channel_of(8 * 4096) == 0
+
+    def test_offsets_compact_per_channel(self):
+        il = AddressInterleaver(n_channels=2, granularity=4096)
+        # Channel 0 sees blocks 0, 2, 4... mapped to 0, 1, 2...
+        assert il.offset_within_channel(0) == 0
+        assert il.offset_within_channel(2 * 4096) == 4096
+        assert il.offset_within_channel(2 * 4096 + 5) == 4096 + 5
+
+    def test_uniform_stream_balances(self):
+        il = AddressInterleaver()
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 34, size=100_000)
+        assert il.balance(addrs) > 0.9
+
+    def test_remote_fraction_uniform_is_seven_eighths(self):
+        # The NoC model's Fig. 7 starting point.
+        il = AddressInterleaver(n_channels=8)
+        addrs = np.arange(0, 8 * 4096 * 1000, 4096)
+        assert il.remote_fraction(addrs, home_channel=0) == pytest.approx(
+            7 / 8
+        )
+
+    def test_granularity_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressInterleaver(granularity=3000)
+
+    def test_negative_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            AddressInterleaver().channel_of(-1)
+
+    def test_histogram_counts(self):
+        il = AddressInterleaver(n_channels=4, granularity=64)
+        addrs = np.array([0, 64, 128, 192, 256])
+        hist = il.channel_histogram(addrs)
+        assert hist.tolist() == [2, 1, 1, 1]

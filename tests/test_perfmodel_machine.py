@@ -1,0 +1,53 @@
+"""MachineParams validation and helpers."""
+
+import pytest
+
+from repro.perfmodel.machine import MachineParams
+
+
+class TestDefaults:
+    def test_peak_flops_matches_paper_chiplet(self):
+        # A 32-CU chiplet at 1 GHz delivers 2 DP teraflops (Section II-A1).
+        m = MachineParams()
+        assert m.peak_flops(32, 1.0e9) == pytest.approx(2.048e12, rel=0.05)
+
+    def test_ehp_peak_at_320_cus(self):
+        m = MachineParams()
+        assert m.peak_flops(320, 1.0e9) == pytest.approx(20.48e12, rel=0.01)
+
+    def test_external_bandwidth_below_in_package(self):
+        m = MachineParams()
+        assert m.ext_bandwidth < 1.0e12  # far below the 3-4 TB/s HBM level
+
+    def test_ext_latency_exceeds_mem_latency(self):
+        m = MachineParams()
+        assert m.ext_latency > m.mem_latency
+
+    def test_remote_fraction_uniform_is_seven_eighths(self):
+        assert MachineParams().remote_fraction_uniform == pytest.approx(7 / 8)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["flops_per_cu_cycle", "cacheline_bytes", "mem_latency",
+         "ext_latency", "ext_bandwidth", "overlap_sharpness",
+         "reference_cus", "reference_freq"],
+    )
+    def test_positive_fields(self, field):
+        with pytest.raises(ValueError):
+            MachineParams(**{field: 0.0})
+
+    def test_remote_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MachineParams(remote_fraction_uniform=1.5)
+
+    def test_contention_nonnegative(self):
+        with pytest.raises(ValueError):
+            MachineParams(contention_kappa=-1.0)
+        MachineParams(contention_kappa=0.0)  # disabling is allowed
+
+    def test_frozen(self):
+        m = MachineParams()
+        with pytest.raises(Exception):
+            m.mem_latency = 1.0  # type: ignore[misc]

@@ -1,0 +1,96 @@
+"""Multi-level memory blending and the leading-loads CPU model."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.cpu import CpuParams, dvfs_speedup, leading_loads_time
+from repro.perfmodel.machine import MachineParams
+from repro.perfmodel.mlm import blended_memory_time, miss_rate_sweep
+from repro.workloads.catalog import get_application
+
+
+class TestBlendedMemoryTime:
+    def test_all_in_package(self):
+        t = blended_memory_time(3e12, 0.0, 3e12)
+        assert t == pytest.approx(1.0)
+
+    def test_all_external_is_much_slower(self):
+        m = MachineParams()
+        t_in = blended_memory_time(1e12, 0.0, 3e12, m)
+        t_ext = blended_memory_time(1e12, 1.0, 3e12, m)
+        assert t_ext / t_in == pytest.approx(3e12 / m.ext_bandwidth, rel=1e-9)
+
+    def test_monotone_in_miss_fraction(self):
+        times = [
+            blended_memory_time(1e12, f, 3e12)
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blended_memory_time(1e12, 1.5, 3e12)
+        with pytest.raises(ValueError):
+            blended_memory_time(-1.0, 0.5, 3e12)
+        with pytest.raises(ValueError):
+            blended_memory_time(1e12, 0.5, 0.0)
+
+
+class TestMissRateSweep:
+    def test_normalized_to_one_at_zero(self):
+        rel = miss_rate_sweep(get_application("CoMD"), 320, 1e9, 3e12)
+        assert rel[0] == pytest.approx(1.0)
+
+    def test_monotone_nonincreasing(self):
+        rel = miss_rate_sweep(get_application("CoMD"), 320, 1e9, 3e12)
+        assert np.all(np.diff(rel) <= 1e-9)
+
+    def test_maxflops_flat(self):
+        # Fig. 8: MaxFlops retains performance at any miss rate.
+        rel = miss_rate_sweep(get_application("MaxFlops"), 320, 1e9, 3e12)
+        assert rel[-1] > 0.95
+
+    def test_memory_app_degrades_substantially(self):
+        rel = miss_rate_sweep(get_application("SNAP"), 320, 1e9, 3e12)
+        assert rel[-1] < 0.6
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            miss_rate_sweep(
+                get_application("CoMD"), 320, 1e9, 3e12, miss_rates=(1.2,)
+            )
+
+
+class TestCpuModel:
+    def test_leading_loads_decomposition(self):
+        p = CpuParams(ref_freq=2e9, core_cycles=2e9, leading_load_time=0.5)
+        # At the reference frequency: 1 s core + 0.5 s memory.
+        assert float(leading_loads_time(p, 2e9)) == pytest.approx(1.5)
+
+    def test_memory_component_frequency_invariant(self):
+        p = CpuParams(core_cycles=0.0, leading_load_time=0.4)
+        assert float(leading_loads_time(p, 1e9)) == pytest.approx(0.4)
+        assert float(leading_loads_time(p, 4e9)) == pytest.approx(0.4)
+
+    def test_dvfs_speedup_sublinear_with_memory_time(self):
+        p = CpuParams(ref_freq=2e9, core_cycles=2e9, leading_load_time=0.5)
+        s = dvfs_speedup(p, 2e9, 4e9)
+        assert 1.0 < s < 2.0  # Amdahl-limited by the memory component
+
+    def test_dvfs_speedup_linear_without_memory_time(self):
+        p = CpuParams(ref_freq=2e9, core_cycles=2e9, leading_load_time=0.0)
+        assert dvfs_speedup(p, 2e9, 4e9) == pytest.approx(2.0)
+
+    def test_vectorized_frequencies(self):
+        p = CpuParams()
+        out = leading_loads_time(p, np.array([1e9, 2e9, 4e9]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuParams(ref_freq=0.0)
+        with pytest.raises(ValueError):
+            CpuParams(core_cycles=-1.0)
+        with pytest.raises(ValueError):
+            leading_loads_time(CpuParams(), 0.0)

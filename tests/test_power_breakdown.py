@@ -1,0 +1,149 @@
+"""Node power roll-up and external memory configurations."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.roofline import evaluate_kernel
+from repro.power.breakdown import (
+    ExternalMemoryConfig,
+    external_memory_power,
+    node_power,
+)
+from repro.power.components import PowerParams
+from repro.workloads.catalog import get_application
+
+
+class TestExternalMemoryConfig:
+    def test_dram_only_capacity(self):
+        cfg = ExternalMemoryConfig.dram_only(1.0)
+        assert cfg.n_dram_modules == 16
+        assert cfg.n_nvm_modules == 0
+        assert cfg.capacity_bytes == pytest.approx(1.024e12, rel=0.05)
+
+    def test_hybrid_preserves_capacity(self):
+        dram = ExternalMemoryConfig.dram_only(1.0)
+        hybrid = ExternalMemoryConfig.hybrid(1.0)
+        assert hybrid.capacity_bytes == pytest.approx(
+            dram.capacity_bytes, rel=0.05
+        )
+
+    def test_hybrid_uses_fewer_modules_and_links(self):
+        dram = ExternalMemoryConfig.dram_only(1.0)
+        hybrid = ExternalMemoryConfig.hybrid(1.0)
+        assert hybrid.n_links < dram.n_links
+
+    def test_hybrid_nvm_share_is_half(self):
+        hybrid = ExternalMemoryConfig.hybrid(1.0)
+        assert hybrid.nvm_capacity_share == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalMemoryConfig(n_dram_modules=0, n_nvm_modules=0)
+
+
+class TestExternalMemoryPower:
+    def test_dram_only_static_matches_paper(self):
+        # Fig. 9: ~27 W DRAM static + ~10 W SerDes background.
+        profile = get_application("CoMD")
+        params = PowerParams()
+        cfg = ExternalMemoryConfig.dram_only()
+        mem_s, _, ser_s, _ = external_memory_power(profile, 0.0, cfg, params)
+        assert float(mem_s) == pytest.approx(27.0, abs=3.0)
+        assert float(ser_s) == pytest.approx(10.0, abs=1.5)
+
+    def test_hybrid_halves_static_power(self):
+        # Fig. 9 Finding 2.
+        profile = get_application("CoMD")
+        params = PowerParams()
+        d = ExternalMemoryConfig.dram_only()
+        h = ExternalMemoryConfig.hybrid()
+        d_s = sum(
+            float(x)
+            for x in external_memory_power(profile, 0.0, d, params)[::2]
+        )
+        h_s = sum(
+            float(x)
+            for x in external_memory_power(profile, 0.0, h, params)[::2]
+        )
+        assert h_s == pytest.approx(d_s / 2.0, rel=0.25)
+
+    def test_nvm_dynamic_energy_exceeds_dram(self):
+        profile = get_application("SNAP")
+        params = PowerParams()
+        rate = 0.3e12
+        _, d_dyn, _, _ = external_memory_power(
+            profile, rate, ExternalMemoryConfig.dram_only(), params
+        )
+        _, h_dyn, _, _ = external_memory_power(
+            profile, rate, ExternalMemoryConfig.hybrid(), params
+        )
+        assert float(h_dyn) > float(d_dyn) * 1.5
+
+    def test_write_heavy_traffic_costs_more_on_nvm(self):
+        params = PowerParams()
+        hybrid = ExternalMemoryConfig.hybrid()
+        reader = get_application("XSBench").with_overrides(write_fraction=0.05)
+        writer = reader.with_overrides(write_fraction=0.6)
+        _, r_dyn, _, _ = external_memory_power(reader, 1e11, hybrid, params)
+        _, w_dyn, _, _ = external_memory_power(writer, 1e11, hybrid, params)
+        assert float(w_dyn) > float(r_dyn)
+
+
+class TestNodePower:
+    def _breakdown(self, app="CoMD", ext_fraction=0.5, **kwargs):
+        profile = get_application(app)
+        metrics = evaluate_kernel(
+            profile, 320, 1e9, 3e12, ext_fraction=ext_fraction
+        )
+        return node_power(profile, metrics, 320, 1e9, 3e12, **kwargs)
+
+    def test_total_is_sum_of_parts(self):
+        b = self._breakdown()
+        parts = (
+            b.cu_dynamic + b.cu_static + b.cpu + b.noc_dynamic
+            + b.noc_static + b.dram3d_dynamic + b.dram3d_static
+            + b.ext_memory_dynamic + b.ext_memory_static
+            + b.serdes_dynamic + b.serdes_static
+        )
+        assert float(b.total) == pytest.approx(float(parts))
+
+    def test_ehp_plus_external_equals_total(self):
+        b = self._breakdown()
+        assert float(b.ehp_package + b.external) == pytest.approx(
+            float(b.total)
+        )
+
+    def test_fig9_categories_cover_total(self):
+        b = self._breakdown()
+        cats = b.fig9_categories()
+        assert sum(float(v) for v in cats.values()) == pytest.approx(
+            float(b.total)
+        )
+        assert set(cats) == {
+            "SerDes (S)", "External memory (S)", "SerDes (D)",
+            "External memory (D)", "CUs (D)", "Other",
+        }
+
+    def test_no_external_traffic_means_no_external_dynamic(self):
+        b = self._breakdown(ext_fraction=0.0)
+        assert float(b.ext_memory_dynamic) == 0.0
+        assert float(b.serdes_dynamic) == 0.0
+
+    def test_all_components_nonnegative(self):
+        b = self._breakdown()
+        for cats in (b.fig9_categories(),):
+            for name, value in cats.items():
+                assert float(value) >= 0.0, name
+
+    def test_map_components(self):
+        b = self._breakdown()
+        doubled = b.map_components(lambda a: a * 2.0)
+        assert float(doubled.total) == pytest.approx(2 * float(b.total))
+
+    def test_vectorized_over_configs(self):
+        profile = get_application("CoMD")
+        cus = np.array([192.0, 320.0])
+        metrics = evaluate_kernel(profile, cus, 1e9, 3e12)
+        b = node_power(profile, metrics, cus, 1e9, 3e12)
+        assert b.total.shape == (2,)
+        assert float(b.total[1]) > float(b.total[0])

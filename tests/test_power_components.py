@@ -1,0 +1,115 @@
+"""Component power equations."""
+
+import numpy as np
+import pytest
+
+from repro.power.components import PowerParams
+from repro.power.vf import VFCurve
+
+
+class TestCuPower:
+    def test_dynamic_scales_with_cus_and_activity(self):
+        p = PowerParams()
+        base = float(p.cu_dynamic_power(320, 1e9, 0.5))
+        assert float(p.cu_dynamic_power(640, 1e9, 0.5)) == pytest.approx(
+            2 * base
+        )
+        assert float(p.cu_dynamic_power(320, 1e9, 1.0)) == pytest.approx(
+            2 * base
+        )
+
+    def test_dynamic_superlinear_in_frequency(self):
+        p = PowerParams()
+        lo = float(p.cu_dynamic_power(320, 1.0e9, 1.0))
+        hi = float(p.cu_dynamic_power(320, 1.5e9, 1.0))
+        assert hi / lo > 1.5
+
+    def test_static_scales_with_voltage(self):
+        p = PowerParams()
+        lo = float(p.cu_static_power(320, 0.7e9))
+        hi = float(p.cu_static_power(320, 1.5e9))
+        assert hi > lo
+
+    def test_async_cu_scale_applies(self):
+        p = PowerParams(async_cu_dynamic_scale=0.9)
+        q = PowerParams()
+        assert float(p.cu_dynamic_power(320, 1e9, 1.0)) == pytest.approx(
+            0.9 * float(q.cu_dynamic_power(320, 1e9, 1.0))
+        )
+
+    def test_fig14_anchor(self):
+        # 320 CUs at 1 GHz, MaxFlops-like activity: ~95 W of CU power
+        # (dynamic + static), consistent with the Fig. 14 calibration.
+        p = PowerParams()
+        total = float(
+            p.cu_dynamic_power(320, 1e9, 0.9) + p.cu_static_power(320, 1e9)
+        )
+        assert 80.0 < total < 110.0
+
+
+class TestNocPower:
+    def test_scales_with_traffic(self):
+        p = PowerParams()
+        assert float(p.noc_dynamic_power(2e12)) == pytest.approx(
+            2 * float(p.noc_dynamic_power(1e12))
+        )
+
+    def test_compression_divides_traffic_energy(self):
+        base = PowerParams()
+        comp = PowerParams(compression_enabled=True)
+        assert float(
+            comp.noc_dynamic_power(1e12, compression_ratio=2.0)
+        ) == pytest.approx(float(base.noc_dynamic_power(1e12)) / 2.0)
+
+    def test_router_and_link_scales_compose(self):
+        p = PowerParams(
+            async_router_dynamic_scale=0.5, link_dynamic_scale=0.5
+        )
+        q = PowerParams()
+        assert float(p.noc_dynamic_power(1e12)) == pytest.approx(
+            0.5 * float(q.noc_dynamic_power(1e12))
+        )
+
+    def test_compression_does_not_touch_dram_energy(self):
+        # The paper compresses network messages, not DRAM array accesses.
+        base = PowerParams()
+        comp = PowerParams(compression_enabled=True)
+        assert float(comp.dram3d_dynamic_power(1e12)) == pytest.approx(
+            float(base.dram3d_dynamic_power(1e12))
+        )
+
+
+class TestDramPower:
+    def test_static_includes_bandwidth_provisioning(self):
+        p = PowerParams()
+        lo = float(p.dram3d_static_power(1e12))
+        hi = float(p.dram3d_static_power(7e12))
+        assert hi - lo == pytest.approx(
+            6 * p.dram3d_interface_watt_per_tbps, rel=1e-9
+        )
+
+    def test_stack_background_power(self):
+        p = PowerParams()
+        floor = float(p.dram3d_static_power(1e-9))
+        assert floor == pytest.approx(
+            p.n_dram3d_stacks * p.dram3d_static_per_stack_watt, rel=1e-3
+        )
+
+
+class TestValidation:
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            PowerParams(async_cu_dynamic_scale=1.5)
+        with pytest.raises(ValueError):
+            PowerParams(noc_router_fraction=-0.1)
+
+    def test_positive_energies(self):
+        with pytest.raises(ValueError):
+            PowerParams(cu_ceff_farad=0.0)
+
+    def test_with_optimizations_returns_validated_copy(self):
+        p = PowerParams()
+        q = p.with_optimizations(compression_enabled=True)
+        assert q.compression_enabled and not p.compression_enabled
+        with pytest.raises(ValueError):
+            p.with_optimizations(link_dynamic_scale=2.0)

@@ -1,0 +1,82 @@
+"""Voltage-frequency curve."""
+
+import numpy as np
+import pytest
+
+from repro.power.vf import VFCurve
+
+
+class TestVoltage:
+    def test_reference_point(self):
+        vf = VFCurve()
+        assert float(vf.voltage(1.0e9)) == pytest.approx(vf.v_ref)
+
+    def test_linear_above_reference(self):
+        vf = VFCurve(v_ref=0.8, slope_per_ghz=0.3)
+        assert float(vf.voltage(1.5e9)) == pytest.approx(0.95)
+
+    def test_floor_applies(self):
+        vf = VFCurve(v_ref=0.8, slope_per_ghz=0.3, v_floor=0.75)
+        assert float(vf.voltage(0.5e9)) == pytest.approx(0.75)
+
+    def test_vectorized(self):
+        vf = VFCurve()
+        v = vf.voltage(np.array([0.7e9, 1.0e9, 1.5e9]))
+        assert v.shape == (3,)
+        assert np.all(np.diff(v) >= 0)
+
+    def test_nonpositive_freq_rejected(self):
+        with pytest.raises(ValueError):
+            VFCurve().voltage(0.0)
+
+
+class TestVoltageScale:
+    def test_ntc_scales_curve(self):
+        vf = VFCurve()
+        ntc = vf.with_voltage_scale(0.87)
+        assert float(ntc.voltage(1.0e9)) == pytest.approx(0.8 * 0.87)
+
+    def test_floor_still_applies_after_scaling(self):
+        vf = VFCurve(v_floor=0.7)
+        ntc = vf.with_voltage_scale(0.6)
+        with pytest.raises(ValueError):
+            # scale outside plausible bounds is rejected outright
+            vf.with_voltage_scale(0.4)
+        assert float(ntc.voltage(1.0e9)) >= 0.0  # built fine
+
+    def test_scale_composition(self):
+        vf = VFCurve().with_voltage_scale(0.9)
+        assert vf.voltage_scale == pytest.approx(0.9)
+
+
+class TestDynamicPowerScale:
+    def test_reference_is_unity(self):
+        vf = VFCurve()
+        assert float(vf.dynamic_power_scale(1.0e9)) == pytest.approx(1.0)
+
+    def test_superlinear_in_frequency(self):
+        # V^2 f grows faster than f once voltage must rise.
+        vf = VFCurve()
+        s = float(vf.dynamic_power_scale(1.5e9))
+        assert s > 1.5
+
+    def test_ntc_reduces_dynamic_power(self):
+        base = float(VFCurve().dynamic_power_scale(1.0e9))
+        ntc = float(
+            VFCurve().with_voltage_scale(0.87).dynamic_power_scale(1.0e9)
+        )
+        assert ntc == pytest.approx(base * 0.87**2, rel=1e-9)
+
+
+class TestValidation:
+    def test_floor_above_ref_rejected(self):
+        with pytest.raises(ValueError):
+            VFCurve(v_ref=0.8, v_floor=0.9)
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ValueError):
+            VFCurve(slope_per_ghz=-0.1)
+
+    def test_extreme_scale_rejected(self):
+        with pytest.raises(ValueError):
+            VFCurve(voltage_scale=2.0)

@@ -1,0 +1,82 @@
+"""Experiment plumbing and example-script smoke tests."""
+
+import pathlib
+import runpy
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    all_profiles,
+    default_model,
+    reference_config,
+)
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExperimentResult:
+    def test_render_includes_header_and_body(self):
+        r = ExperimentResult(
+            experiment_id="figX",
+            title="A title",
+            rendered="row1\nrow2",
+            notes="a caveat",
+        )
+        text = r.render()
+        assert text.startswith("== figX: A title ==")
+        assert "a caveat" in text
+        assert "row2" in text
+
+    def test_render_without_notes(self):
+        r = ExperimentResult("figY", "T", "body")
+        assert "--" not in r.render().splitlines()[0]
+        assert "body" in r.render()
+
+    def test_default_data_empty(self):
+        r = ExperimentResult("figZ", "T", "body")
+        assert dict(r.data) == {}
+
+
+class TestRunnerHelpers:
+    def test_all_profiles_order_and_count(self):
+        profiles = all_profiles()
+        assert len(profiles) == 8
+        assert profiles[0].name == "MaxFlops"
+
+    def test_reference_config_is_paper_best_mean(self):
+        cfg = reference_config()
+        assert (cfg.n_cus, cfg.gpu_freq, cfg.bandwidth) == (
+            320, 1.0e9, 3.0e12
+        )
+
+    def test_default_model_evaluates(self):
+        model = default_model()
+        ev = model.evaluate(all_profiles()[0], reference_config())
+        assert float(ev.performance) > 0
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "design_space_exploration.py"],
+)
+def test_example_scripts_run(script, capsys):
+    """The fast examples execute end to end and produce output."""
+    path = EXAMPLES / script
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "design_space_exploration.py",
+        "memory_system_codesign.py",
+        "exascale_machine_plan.py",
+        "dynamic_reconfiguration.py",
+        "chiplet_thermal_study.py",
+        "heterogeneous_runtime.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

@@ -1,0 +1,73 @@
+"""Runtime studies X3a-X3c."""
+
+import pytest
+
+from repro.experiments.runtime_studies import (
+    run_checkpoint_study,
+    run_governor_study,
+    run_hsa_dispatch_study,
+)
+
+
+class TestGovernorStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_governor_study()
+
+    def test_all_apps_reported(self, study):
+        assert len(study.data) == 8
+
+    def test_maxflops_left_alone(self, study):
+        row = study.data["MaxFlops"]
+        assert row["gated_cus"] == 0
+        assert row["power_saving_pct"] == pytest.approx(0.0)
+
+    def test_perf_budget_respected(self, study):
+        for app, row in study.data.items():
+            assert row["perf_loss_pct"] <= 2.0 + 1e-9, app
+
+    def test_some_kernels_get_faster(self, study):
+        # Over-provisioning relief: at least one memory-intensive kernel
+        # speeds up when the governor backs CUs off.
+        assert any(
+            row["perf_loss_pct"] < -5.0 for row in study.data.values()
+        )
+
+    def test_governor_coheres_with_table2(self, study):
+        # Applications whose Table II optimum has fewer CUs than the
+        # best-mean point should be backed off by the governor too.
+        assert study.data["CoMD"]["gated_cus"] > 0
+        assert study.data["MiniAMR"]["gated_cus"] > 0
+
+
+class TestCheckpointStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_checkpoint_study()
+
+    def test_stronger_protection_higher_efficiency(self, study):
+        effs = [row["efficiency_pct"] for row in study.data.values()]
+        assert effs == sorted(effs)
+
+    def test_intervals_grow_with_mttf(self, study):
+        intervals = [row["interval_min"] for row in study.data.values()]
+        assert intervals == sorted(intervals)
+
+    def test_best_stack_above_99(self, study):
+        best = study.data["chipkill + strong RMT"]
+        assert best["efficiency_pct"] > 99.0
+
+
+class TestHsaDispatchStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_hsa_dispatch_study()
+
+    def test_all_speedups_above_one(self, study):
+        assert all(v > 1.0 for v in study.data.values())
+
+    def test_fine_grained_benefits_most(self, study):
+        assert study.data["50us/512MB"] > study.data["5000us/512MB"]
+
+    def test_more_data_bigger_speedup(self, study):
+        assert study.data["500us/512MB"] > study.data["500us/64MB"]

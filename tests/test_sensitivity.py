@@ -1,0 +1,35 @@
+"""X4 sensitivity study."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_sensitivity_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_sensitivity_study()
+
+
+class TestSensitivityStudy:
+    def test_all_knobs_reported(self, study):
+        assert len(study.data) == 8
+
+    def test_external_bandwidth_dominates_performance(self, study):
+        # With 46-89% of traffic off-package, the external network's
+        # bandwidth is the performance-critical projection.
+        swings = {k: abs(v["perf_swing_pct"]) for k, v in study.data.items()}
+        assert max(swings, key=swings.get) == "ext_bandwidth"
+
+    def test_power_knobs_do_not_move_performance(self, study):
+        for knob in ("cu_ceff_farad", "noc_energy_per_bit"):
+            assert study.data[knob]["perf_swing_pct"] == pytest.approx(0.0)
+
+    def test_power_knobs_move_power(self, study):
+        assert study.data["cu_ceff_farad"]["power_swing_pct"] > 1.0
+
+    def test_higher_latency_hurts(self, study):
+        assert study.data["mem_latency"]["perf_swing_pct"] < 0.0
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            run_sensitivity_study(delta=1.5)

@@ -1,0 +1,133 @@
+"""Cache simulator and CU/wavefront model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache_sim import CacheLevel, CacheSim
+from repro.sim.gpu_core import ComputeUnit, Wavefront
+
+
+class TestCacheLevel:
+    def test_cold_miss_then_hit(self):
+        c = CacheLevel("L1", 64 * 1024)
+        assert not c.access(0)
+        assert c.access(0)
+
+    def test_same_line_shares_entry(self):
+        c = CacheLevel("L1", 64 * 1024, line_bytes=64)
+        c.access(0)
+        assert c.access(63)
+        assert not c.access(64)
+
+    def test_lru_within_set(self):
+        # 2 ways, 1 set.
+        c = CacheLevel("tiny", 128, line_bytes=64, associativity=2)
+        c.access(0)
+        c.access(64)
+        c.access(0)      # refresh line 0
+        c.access(128)    # evicts line 64 (LRU)
+        assert c.access(0)
+        assert not c.access(64)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 64, line_bytes=64, associativity=2)
+
+    def test_flush_keeps_stats(self):
+        c = CacheLevel("L1", 64 * 1024)
+        c.access(0)
+        c.flush()
+        assert not c.access(0)
+        assert c.stats.misses == 2
+
+
+class TestCacheSim:
+    def test_hierarchy_promotion(self):
+        sim = CacheSim([
+            CacheLevel("L1", 4096, associativity=4),
+            CacheLevel("L2", 64 * 1024, associativity=8),
+        ])
+        assert sim.access(0) == 2  # DRAM on cold miss
+        assert sim.access(0) == 0  # now in L1
+
+    def test_l2_catches_l1_eviction(self):
+        sim = CacheSim([
+            CacheLevel("L1", 128, line_bytes=64, associativity=2),
+            CacheLevel("L2", 64 * 1024, associativity=8),
+        ])
+        for line in range(4):
+            sim.access(line * 64)
+        # Line 0 evicted from the tiny L1 but still resident in L2.
+        assert sim.access(0) == 1
+
+    def test_run_trace_reports(self):
+        sim = CacheSim.ehp_default(n_cus=32)
+        rng = np.random.default_rng(0)
+        out = sim.run_trace(rng.integers(0, 1 << 20, size=3000) * 64)
+        assert set(out) == {"L1", "LLC", "dram_fraction"}
+        assert 0.0 <= out["dram_fraction"] <= 1.0
+
+    def test_small_working_set_hits(self):
+        sim = CacheSim.ehp_default()
+        addrs = np.tile(np.arange(64) * 64, 50)
+        out = sim.run_trace(addrs)
+        assert out["dram_fraction"] < 0.05
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSim([])
+
+
+class TestComputeUnit:
+    def test_wavefront_pool_limit(self):
+        cu = ComputeUnit(0, 64e9, max_wavefronts=1)
+        cu.add_wavefront(Wavefront(0, 10, 100.0))
+        with pytest.raises(RuntimeError):
+            cu.add_wavefront(Wavefront(1, 10, 100.0))
+
+    def test_duplicate_id_rejected(self):
+        cu = ComputeUnit(0, 64e9)
+        cu.add_wavefront(Wavefront(0, 10, 100.0))
+        with pytest.raises(ValueError):
+            cu.add_wavefront(Wavefront(0, 10, 100.0))
+
+    def test_burst_duration(self):
+        cu = ComputeUnit(0, 64e9)
+        wf = Wavefront(0, 1, 640.0)
+        assert cu.burst_duration(wf) == pytest.approx(1e-8)
+
+    def test_busy_time_accounting(self):
+        cu = ComputeUnit(0, 64e9)
+        wf = Wavefront(0, 1, 100.0)
+        cu.add_wavefront(wf)
+        cu.start_compute(wf, 0.0)
+        cu.end_compute(wf, 2.0)
+        assert cu.busy_time == pytest.approx(2.0)
+        assert cu.utilization(4.0) == pytest.approx(0.5)
+
+    def test_overlapping_wavefronts_counted_once(self):
+        cu = ComputeUnit(0, 64e9)
+        a, b = Wavefront(0, 1, 1.0), Wavefront(1, 1, 1.0)
+        cu.add_wavefront(a)
+        cu.add_wavefront(b)
+        cu.start_compute(a, 0.0)
+        cu.start_compute(b, 1.0)
+        cu.end_compute(a, 2.0)
+        cu.end_compute(b, 3.0)
+        assert cu.busy_time == pytest.approx(3.0)
+
+    def test_double_start_rejected(self):
+        cu = ComputeUnit(0, 64e9)
+        wf = Wavefront(0, 1, 1.0)
+        cu.add_wavefront(wf)
+        cu.start_compute(wf, 0.0)
+        with pytest.raises(RuntimeError):
+            cu.start_compute(wf, 0.5)
+
+    def test_active_wavefronts(self):
+        cu = ComputeUnit(0, 64e9)
+        wf = Wavefront(0, 1, 1.0)
+        cu.add_wavefront(wf)
+        assert cu.active_wavefronts == 1
+        wf.state = "done"
+        assert cu.active_wavefronts == 0

@@ -1,0 +1,104 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(3.0, lambda: order.append("c"))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert order == ["a", "b", "c"]
+
+    def test_stable_tie_breaking(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: order.append(i))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1.0, lambda: fired.append(1))
+        handle.cancelled = True
+        assert q.pop() is None
+        assert not fired
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        h.cancelled = True
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        end = sim.run()
+        assert times == [1.0, 2.5]
+        assert end == 2.5
+
+    def test_chained_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(1.0, second)
+
+        def second():
+            log.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1.0, 2.0]
+
+    def test_run_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)

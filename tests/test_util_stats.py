@@ -1,0 +1,137 @@
+"""Statistics helpers, including hypothesis property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import stats
+
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert stats.geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stats.geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            stats.geometric_mean([1.0, 0.0])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = stats.geometric_mean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20), positive_floats)
+    def test_scale_invariance(self, values, k):
+        g1 = stats.geometric_mean(values)
+        g2 = stats.geometric_mean([v * k for v in values])
+        assert g2 == pytest.approx(g1 * k, rel=1e-6)
+
+
+class TestHarmonicMean:
+    def test_simple(self):
+        assert stats.harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert stats.harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stats.harmonic_mean([])
+
+    @given(st.lists(positive_floats, min_size=2, max_size=20))
+    def test_harmonic_le_geometric(self, values):
+        h = stats.harmonic_mean(values)
+        g = stats.geometric_mean(values)
+        assert h <= g * (1 + 1e-9)
+
+
+class TestWeightedMean:
+    def test_equal_weights(self):
+        assert stats.weighted_mean([1.0, 3.0], [1.0, 1.0]) == 2.0
+
+    def test_skewed_weights(self):
+        assert stats.weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stats.weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            stats.weighted_mean([1.0], [0.0])
+
+
+class TestNormalize:
+    def test_default_reference_is_max(self):
+        assert stats.normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+
+    def test_explicit_reference(self):
+        assert stats.normalize([2.0], reference=4.0) == [0.5]
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            stats.normalize([1.0], reference=0.0)
+
+    def test_empty(self):
+        assert stats.normalize([]) == []
+
+
+class TestRelativeError:
+    def test_simple(self):
+        assert stats.relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_expected_rejected(self):
+        with pytest.raises(ValueError):
+            stats.relative_error(1.0, 0.0)
+
+    def test_symmetric_magnitude(self):
+        assert stats.relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert stats.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_outside(self):
+        assert stats.clamp(-1.0, 0.0, 1.0) == 0.0
+        assert stats.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            stats.clamp(0.0, 1.0, 0.0)
+
+
+class TestSmoothMax:
+    def test_far_apart_approaches_max(self):
+        assert stats.smooth_max(1.0, 100.0) == pytest.approx(100.0, rel=1e-4)
+        # The scale-invariant form keeps a bounded *relative* overshoot
+        # of ~log(1+e^-s)/s even for very disparate operands.
+        assert stats.smooth_max(1.0, 1e6) == pytest.approx(1e6, rel=1e-4)
+
+    def test_equal_values_overshoot_bounded(self):
+        v = stats.smooth_max(1.0, 1.0, sharpness=8.0)
+        assert 1.0 <= v <= 1.0 + math.log(2) / 8.0 + 1e-12
+
+    def test_nonpositive_sharpness_rejected(self):
+        with pytest.raises(ValueError):
+            stats.smooth_max(1.0, 1.0, sharpness=0.0)
+
+    @given(positive_floats, positive_floats)
+    def test_upper_bounds_hard_max(self, a, b):
+        assert stats.smooth_max(a, b) >= max(a, b) * (1 - 1e-12)
+
+    @given(positive_floats, positive_floats)
+    def test_symmetry(self, a, b):
+        assert stats.smooth_max(a, b) == pytest.approx(
+            stats.smooth_max(b, a), rel=1e-9
+        )
+
+    def test_zero_inputs(self):
+        assert stats.smooth_max(0.0, 0.0) == 0.0

@@ -1,0 +1,78 @@
+"""Text-table rendering."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_series
+
+
+class TestTextTable:
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_row_length_checked(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_render_alignment(self):
+        t = TextTable(["app", "perf"])
+        t.add_row(["CoMD", 1.25])
+        t.add_row(["MaxFlops", 2.0])
+        lines = t.render().splitlines()
+        assert lines[0].startswith("app")
+        assert "+" in lines[1]
+        # All data rows align the separator at the same column.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_float_formatting(self):
+        t = TextTable(["x"], float_format="{:.1f}")
+        t.add_row([3.14159])
+        assert "3.1" in t.render()
+        assert "3.14" not in t.render()
+
+    def test_bool_rendering(self):
+        t = TextTable(["ok"])
+        t.add_row([True])
+        t.add_row([False])
+        body = t.render()
+        assert "yes" in body and "no" in body
+
+    def test_n_rows(self):
+        t = TextTable(["x"])
+        assert t.n_rows == 0
+        t.add_row([1])
+        t.add_row([2])
+        assert t.n_rows == 2
+
+    def test_render_has_no_trailing_whitespace(self):
+        t = TextTable(["a", "bbbb"])
+        t.add_row(["x", "y"])
+        for line in t.render().splitlines():
+            assert line == line.rstrip()
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series({"s1": [1.0, 2.0], "s2": [3.0, 4.0]})
+        assert "s1" in out and "s2" in out
+        assert "1.000" in out and "4.000" in out
+
+    def test_x_values(self):
+        out = format_series(
+            {"y": [0.5]}, x_label="bw", x_values=["3TBps"]
+        )
+        assert "bw" in out and "3TBps" in out
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_x_values_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1.0, 2.0]}, x_values=[0])
+
+    def test_empty_series(self):
+        out = format_series({})
+        assert out  # header-only table still renders

@@ -1,0 +1,77 @@
+"""Unit constants and conversions."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestConstants:
+    def test_frequency_constants(self):
+        assert units.MHZ == 1.0e6
+        assert units.GHZ == 1.0e9
+
+    def test_capacity_constants_are_decimal(self):
+        assert units.KB == 1.0e3
+        assert units.MB == 1.0e6
+        assert units.GB == 1.0e9
+        assert units.TB == 1.0e12
+
+    def test_gibibyte_is_binary(self):
+        assert units.GIB == 2**30
+
+    def test_time_constants(self):
+        assert units.NS == 1.0e-9
+        assert units.US == 1.0e-6
+
+    def test_energy_constants(self):
+        assert units.PJ == 1.0e-12
+        assert units.MW == 1.0e6
+
+    def test_composition(self):
+        # 3 TB/s of bandwidth expressed in bytes/second.
+        assert 3 * units.TB == 3.0e12
+        # 1.5 GHz in Hz.
+        assert 1.5 * units.GHZ == 1.5e9
+
+
+class TestToSi:
+    @pytest.mark.parametrize(
+        "prefix,factor",
+        [("p", 1e-12), ("n", 1e-9), ("u", 1e-6), ("", 1.0),
+         ("k", 1e3), ("M", 1e6), ("G", 1e9), ("T", 1e12), ("E", 1e18)],
+    )
+    def test_known_prefixes(self, prefix, factor):
+        assert units.to_si(2.0, prefix) == pytest.approx(2.0 * factor)
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            units.to_si(1.0, "Q")
+
+    def test_k_and_upper_k_agree(self):
+        assert units.to_si(1.0, "k") == units.to_si(1.0, "K")
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.celsius_to_kelvin(85.0) == pytest.approx(358.15)
+
+    def test_kelvin_to_celsius_roundtrip(self):
+        for c in (-40.0, 0.0, 50.0, 85.0):
+            assert units.kelvin_to_celsius(
+                units.celsius_to_kelvin(c)
+            ) == pytest.approx(c)
+
+
+class TestFlopsConversions:
+    def test_teraflops(self):
+        assert units.flops_to_teraflops(18.6e12) == pytest.approx(18.6)
+
+    def test_exaflops(self):
+        assert units.flops_to_exaflops(1.86e18) == pytest.approx(1.86)
+
+    def test_exascale_definition(self):
+        # 1 exaflop = 10^18 flops (Section I).
+        assert units.flops_to_exaflops(1.0e18) == 1.0

@@ -1,0 +1,78 @@
+"""The Table I application catalog."""
+
+import pytest
+
+from repro.workloads.catalog import (
+    APPLICATIONS,
+    application_names,
+    get_application,
+    iter_applications,
+    table1_rows,
+)
+from repro.workloads.kernels import KernelCategory
+
+PAPER_APPS = (
+    "MaxFlops", "CoMD", "CoMD-LJ", "HPGMG",
+    "LULESH", "MiniAMR", "XSBench", "SNAP",
+)
+
+
+class TestCatalogContents:
+    def test_all_eight_applications_present(self):
+        assert set(application_names()) == set(PAPER_APPS)
+
+    def test_categories_match_table1(self):
+        cats = {name: p.category for name, p in APPLICATIONS.items()}
+        assert cats["MaxFlops"] is KernelCategory.COMPUTE_INTENSIVE
+        for balanced in ("CoMD", "CoMD-LJ", "HPGMG"):
+            assert cats[balanced] is KernelCategory.BALANCED
+        for mem in ("LULESH", "MiniAMR", "XSBench", "SNAP"):
+            assert cats[mem] is KernelCategory.MEMORY_INTENSIVE
+
+    def test_names_are_keys(self):
+        for name, profile in APPLICATIONS.items():
+            assert profile.name == name
+
+    def test_descriptions_nonempty(self):
+        for profile in APPLICATIONS.values():
+            assert profile.description
+
+    def test_ext_memory_fraction_in_paper_range(self):
+        # Section V-B: 46% to 89% of traffic may access off-package
+        # memory (MaxFlops is the compute-bound exception).
+        for name, p in APPLICATIONS.items():
+            if name == "MaxFlops":
+                assert p.ext_memory_fraction <= 0.1
+            else:
+                assert 0.4 <= p.ext_memory_fraction <= 0.9
+
+    def test_maxflops_is_compute_bound(self):
+        p = APPLICATIONS["MaxFlops"]
+        assert p.bytes_per_flop < 0.05
+        assert p.parallel_fraction > 0.95
+
+    def test_provenance_recorded(self):
+        for p in APPLICATIONS.values():
+            assert "calibrat" in p.provenance.lower()
+
+
+class TestAccessors:
+    def test_get_application(self):
+        assert get_application("LULESH").name == "LULESH"
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="LULESH"):
+            get_application("NotAnApp")
+
+    def test_iter_matches_names(self):
+        assert [p.name for p in iter_applications()] == application_names()
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+        for category, app, description in rows:
+            assert category in {
+                "compute-intensive", "balanced", "memory-intensive"
+            }
+            assert app in PAPER_APPS
+            assert description

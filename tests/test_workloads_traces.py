@@ -1,0 +1,87 @@
+"""Synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.catalog import get_application
+from repro.workloads.traces import MemoryTrace, TraceGenerator
+
+
+class TestMemoryTrace:
+    def test_length_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            MemoryTrace(
+                addresses=np.array([0, 64]),
+                is_write=np.array([False]),
+                flops_between=np.array([1.0, 2.0]),
+                footprint_bytes=1024.0,
+            )
+
+    def test_footprint_bound_enforced(self):
+        with pytest.raises(ValueError):
+            MemoryTrace(
+                addresses=np.array([2048]),
+                is_write=np.array([False]),
+                flops_between=np.array([1.0]),
+                footprint_bytes=1024.0,
+            )
+
+    def test_write_fraction_empty(self):
+        t = MemoryTrace(
+            addresses=np.array([], dtype=np.int64),
+            is_write=np.array([], dtype=bool),
+            flops_between=np.array([]),
+            footprint_bytes=1024.0,
+        )
+        assert t.write_fraction == 0.0
+        assert len(t) == 0
+
+
+class TestTraceGenerator:
+    def test_deterministic_for_seed(self):
+        p = get_application("LULESH")
+        t1 = TraceGenerator(p, seed=3).generate(5000)
+        t2 = TraceGenerator(p, seed=3).generate(5000)
+        np.testing.assert_array_equal(t1.addresses, t2.addresses)
+        np.testing.assert_array_equal(t1.is_write, t2.is_write)
+
+    def test_different_seeds_differ(self):
+        p = get_application("LULESH")
+        t1 = TraceGenerator(p, seed=1).generate(5000)
+        t2 = TraceGenerator(p, seed=2).generate(5000)
+        assert not np.array_equal(t1.addresses, t2.addresses)
+
+    def test_addresses_line_aligned(self):
+        t = TraceGenerator(get_application("CoMD"), seed=0).generate(2000)
+        assert np.all(t.addresses % 64 == 0)
+
+    def test_write_fraction_tracks_profile(self):
+        p = get_application("LULESH")
+        t = TraceGenerator(p, seed=0).generate(50000)
+        assert t.write_fraction == pytest.approx(p.write_fraction, abs=0.02)
+
+    def test_length_requested(self):
+        t = TraceGenerator(get_application("SNAP"), seed=0).generate(1234)
+        assert len(t) == 1234
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(get_application("SNAP"), seed=0).generate(0)
+
+    def test_compute_intensive_has_more_flops_per_access(self):
+        hot = TraceGenerator(get_application("MaxFlops"), seed=0).generate(5000)
+        cold = TraceGenerator(get_application("SNAP"), seed=0).generate(5000)
+        assert hot.flops_between.mean() > 10 * cold.flops_between.mean()
+
+    def test_random_heavy_profile_touches_more_lines(self):
+        # Higher latency_sensitivity -> more uniform-random accesses ->
+        # larger unique footprint for the same trace length.
+        regular = get_application("MaxFlops")
+        irregular = regular.with_overrides(latency_sensitivity=0.9)
+        t_reg = TraceGenerator(regular, seed=5).generate(20000)
+        t_irr = TraceGenerator(irregular, seed=5).generate(20000)
+        assert t_irr.unique_lines > t_reg.unique_lines
+
+    def test_footprint_capped_but_positive(self):
+        t = TraceGenerator(get_application("XSBench"), seed=0).generate(100)
+        assert 0 < t.footprint_bytes <= (1 << 30)

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Perf-regression gate for the PR-1 performance layer.
+
+Measures the fast paths against seed-equivalent reference
+implementations kept in-repo (the triple-loop assembly +
+``spsolve``-per-call thermal path; the heap/dict/graph-object NoC loop
+replicated below) and asserts the speedup ratios the layer promises:
+
+* repeat ``ThermalGrid.solve`` >= 10x over re-factorizing every call,
+* ``solve_many`` over 20 maps >= 15x over 20 sequential seed solves,
+* a 100k-message NoC run >= 5x over the seed hot loop,
+
+plus numerical agreement (1e-9) between fast and reference paths.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_perf.py [--quick]
+
+Exits non-zero (with a report) if any ratio regresses, so future PRs
+can use it as a trajectory check alongside::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=BENCH_pr1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import itertools
+import sys
+import time
+
+import numpy as np
+from scipy.sparse.linalg import spsolve
+
+from repro.noc.routing import route
+from repro.noc.simulator import LinkStats, NocSimulator, SimMessage
+from repro.thermal.grid import ThermalGrid
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Seed-equivalent reference paths
+# ----------------------------------------------------------------------
+def seed_thermal_solve(grid: ThermalGrid, maps: np.ndarray) -> np.ndarray:
+    """The seed behaviour: reuse the assembled matrix but factorize on
+    every call (``spsolve``)."""
+    if getattr(grid, "_seed_system", None) is None:
+        grid._seed_system = grid._assemble_reference()
+    matrix, b_amb = grid._seed_system
+    rhs = maps.ravel() + b_amb * grid.stack.ambient_c
+    return spsolve(matrix, rhs)
+
+
+def seed_noc_run(sim: NocSimulator, messages: list[SimMessage]):
+    """The seed hot loop: a heap of message objects, per-hop
+    ``frozenset`` keys, dict link stats and graph-edge lookups."""
+    links: dict[frozenset, LinkStats] = {}
+    counter = itertools.count()
+    heap: list[tuple[float, int, SimMessage]] = []
+    for m in messages:
+        heapq.heappush(heap, (m.inject_time, next(counter), m))
+    route_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+    latencies: list[float] = []
+    makespan = 0.0
+    while heap:
+        now, _, msg = heapq.heappop(heap)
+        key = (msg.src, msg.dst)
+        if key not in route_cache:
+            route_cache[key] = route(sim.topology, msg.src, msg.dst).nodes
+        path = route_cache[key]
+        t = now
+        for a, b in zip(path, path[1:]):
+            edge = sim.topology.graph.edges[a, b]
+            link = links.setdefault(frozenset((a, b)), LinkStats())
+            start = max(t, link.busy_until)
+            serialize = msg.size_bytes / sim.link_bandwidth
+            done = start + serialize + edge["latency"]
+            link.busy_until = start + serialize
+            link.bytes_carried += msg.size_bytes
+            link.messages += 1
+            t = done
+        latencies.append(t - msg.inject_time)
+        makespan = max(makespan, t)
+    return latencies, makespan
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+def check_thermal(quick: bool) -> list[str]:
+    nx = ny = 66 if quick else 132
+    repeats = 2 if quick else 3
+    grid = ThermalGrid(66.0, 22.0, nx=nx, ny=ny)
+    rng = np.random.default_rng(0)
+    maps = rng.random((grid.stack.n_layers, ny, nx))
+
+    fast_field = grid.solve(maps)  # factorizes once
+    ref = seed_thermal_solve(grid, maps)
+    err = float(np.abs(fast_field.celsius.ravel() - ref).max())
+
+    t_fast = _best_of(lambda: grid.solve(maps), repeats)
+    t_seed = _best_of(lambda: seed_thermal_solve(grid, maps), repeats)
+    resolve_ratio = t_seed / t_fast
+
+    n_batch = 20
+    batch = np.stack([maps * (1.0 + 0.01 * k) for k in range(n_batch)])
+    t_batch = _best_of(lambda: grid.solve_many(batch), repeats)
+    batch_ratio = n_batch * t_seed / t_batch
+
+    print(f"thermal {nx}x{ny}: repeat solve {t_fast * 1e3:.1f} ms vs seed "
+          f"{t_seed * 1e3:.1f} ms -> {resolve_ratio:.1f}x "
+          f"(max |dT| = {err:.2e} C)")
+    print(f"thermal solve_many({n_batch}): {t_batch * 1e3:.1f} ms vs "
+          f"{n_batch} seed solves -> {batch_ratio:.1f}x")
+
+    failures = []
+    if err > 1e-9:
+        failures.append(f"thermal mismatch vs spsolve: {err:.2e} > 1e-9")
+    if resolve_ratio < 10.0:
+        failures.append(
+            f"thermal repeat-solve speedup {resolve_ratio:.1f}x < 10x"
+        )
+    if batch_ratio < 15.0:
+        failures.append(
+            f"thermal solve_many speedup {batch_ratio:.1f}x < 15x"
+        )
+    return failures
+
+
+def check_noc(quick: bool) -> list[str]:
+    n = 20_000 if quick else 100_000
+    rng = np.random.default_rng(1)
+    nodes = [f"gpu{i}" for i in range(8)] + [f"dram{i}" for i in range(8)]
+    src = rng.integers(0, len(nodes), size=n)
+    dst = (src + 1 + rng.integers(0, len(nodes) - 1, size=n)) % len(nodes)
+    msgs = [
+        SimMessage(nodes[s], nodes[d], 4096.0, k * 1e-9)
+        for k, (s, d) in enumerate(zip(src, dst))
+    ]
+
+    sim = NocSimulator()
+    ref_lat, ref_mk = seed_noc_run(sim, msgs)
+    res = sim.run(msgs)
+    identical = res.latencies == ref_lat and res.makespan == ref_mk
+
+    t_fast = _best_of(lambda: NocSimulator().run(msgs), 3)
+    t_seed = _best_of(lambda: seed_noc_run(NocSimulator(), msgs), 2)
+    ratio = t_seed / t_fast
+    print(f"noc {n // 1000}k messages: {t_fast * 1e3:.0f} ms vs seed "
+          f"{t_seed * 1e3:.0f} ms -> {ratio:.1f}x "
+          f"(latencies identical: {identical})")
+
+    failures = []
+    if not identical:
+        failures.append("NoC fast path diverged from the seed loop")
+    if ratio < 5.0:
+        failures.append(f"NoC speedup {ratio:.1f}x < 5x")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller problem sizes (CI smoke run)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_thermal(args.quick) + check_noc(args.quick)
+    if failures:
+        print("\nPERF REGRESSION:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nall perf ratios hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

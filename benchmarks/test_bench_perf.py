@@ -1,0 +1,76 @@
+"""Benchmarks for the PR-1 performance layer's hot paths.
+
+These time the fast paths directly (repeat thermal solve against a
+cached factorization, batched back-substitution, the integer-route NoC
+loop, the cached full-suite experiment run) so the recorded
+``BENCH_*.json`` trajectory tracks them PR over PR. The speedup *ratio*
+assertions against the seed implementations live in
+``benchmarks/check_perf.py``.
+"""
+
+import numpy as np
+
+from repro.noc.simulator import NocSimulator, SimMessage
+from repro.perf.evalcache import EvalCache
+from repro.perf.parallel import run_all_experiments
+from repro.thermal.grid import ThermalGrid
+from repro.workloads.catalog import APPLICATIONS
+
+GRID_NX = GRID_NY = 132
+
+
+def _hot_grid():
+    grid = ThermalGrid(66.0, 22.0, nx=GRID_NX, ny=GRID_NY)
+    rng = np.random.default_rng(0)
+    maps = rng.random((grid.stack.n_layers, grid.ny, grid.nx))
+    grid.solve(maps)  # factorize once, outside the timed region
+    return grid, maps
+
+
+def test_bench_thermal_repeat_solve(benchmark):
+    """Repeat steady-state solve on a 132x132 grid (cached splu)."""
+    grid, maps = _hot_grid()
+    benchmark(grid.solve, maps)
+
+
+def test_bench_thermal_solve_many(benchmark):
+    """Batched solve of 20 power maps against one factorization."""
+    grid, maps = _hot_grid()
+    batch = np.stack([maps * (1.0 + 0.01 * k) for k in range(20)])
+    benchmark.pedantic(grid.solve_many, args=(batch,), rounds=3, iterations=1)
+
+
+def _noc_messages(n=100_000):
+    rng = np.random.default_rng(1)
+    nodes = [f"gpu{i}" for i in range(8)] + [f"dram{i}" for i in range(8)]
+    src = rng.integers(0, len(nodes), size=n)
+    dst = (src + 1 + rng.integers(0, len(nodes) - 1, size=n)) % len(nodes)
+    return [
+        SimMessage(nodes[s], nodes[d], 4096.0, k * 1e-9)
+        for k, (s, d) in enumerate(zip(src, dst))
+    ]
+
+
+def test_bench_noc_100k(benchmark):
+    """100k-message store-and-forward run over the EHP topology."""
+    msgs = _noc_messages()
+    benchmark.pedantic(
+        lambda: NocSimulator().run(msgs), rounds=3, iterations=1
+    )
+
+
+def test_bench_eval_cache_warm(benchmark):
+    """Warm-cache full-grid evaluation of all eight applications."""
+    from repro.core.dse import explore
+
+    cache = EvalCache()
+    profiles = list(APPLICATIONS.values())
+    explore(profiles, cache=cache)  # populate
+    benchmark(lambda: explore(profiles, cache=cache))
+
+
+def test_bench_run_all_experiments_serial(benchmark):
+    """Every figure/table driver, serial, shared evaluation cache."""
+    benchmark.pedantic(
+        lambda: run_all_experiments(parallel=False), rounds=1, iterations=1
+    )

@@ -5,59 +5,15 @@ Usage::
     python -m repro list                # show available experiments
     python -m repro fig8 table2        # run selected artifacts
     python -m repro all                 # run everything
+    python -m repro all --jobs 4        # ... across 4 worker processes
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
-from repro.experiments.ablations import (
-    run_contention_ablation,
-    run_latency_hiding_ablation,
-    run_memory_management_ablation,
-)
-from repro.experiments.chiplet_traffic import run_fig7
-from repro.experiments.dse_summary import run_dse_summary
-from repro.experiments.exascale_target import run_fig14
-from repro.experiments.external_memory import run_fig9
-from repro.experiments.kernel_sweeps import run_fig4, run_fig5, run_fig6
-from repro.experiments.miss_sensitivity import run_fig8
-from repro.experiments.power_opts import run_fig12, run_fig13
-from repro.experiments.reconfiguration import run_table2
-from repro.experiments.runtime_studies import (
-    run_checkpoint_study,
-    run_governor_study,
-    run_hsa_dispatch_study,
-)
-from repro.experiments.sensitivity import run_sensitivity_study
-from repro.experiments.table1 import run_table1
-from repro.experiments.thermal_eval import run_fig10, run_fig11
-
-EXPERIMENTS: dict[str, Callable] = {
-    "table1": run_table1,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig8": run_fig8,
-    "fig9": run_fig9,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": run_fig12,
-    "fig13": run_fig13,
-    "fig14": run_fig14,
-    "table2": run_table2,
-    "dse": run_dse_summary,
-    "ablation-latency-hiding": run_latency_hiding_ablation,
-    "ablation-contention": run_contention_ablation,
-    "ablation-memory-management": run_memory_management_ablation,
-    "x3a-governor": run_governor_study,
-    "x3b-checkpoint": run_checkpoint_study,
-    "x3c-hsa-dispatch": run_hsa_dispatch_study,
-    "x4-sensitivity": run_sensitivity_study,
-}
+from repro.experiments.registry import EXPERIMENTS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,6 +29,16 @@ def main(argv: list[str] | None = None) -> int:
         "artifacts",
         nargs="+",
         help="experiment ids (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help=(
+            "worker processes to fan the experiments across "
+            "(default 1: serial in-process)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -92,8 +58,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.jobs > 1:
+        from repro.perf.parallel import run_experiments
+
+        results = run_experiments(
+            names, parallel=True, max_workers=args.jobs
+        )
+    else:
+        results = {name: EXPERIMENTS[name]() for name in names}
+    # `names` may repeat or reorder; honour the user's request order.
     for name in names:
-        print(EXPERIMENTS[name]().render())
+        print(results[name].render())
         print()
     return 0
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.config import DesignSpace, EHPConfig
 from repro.core.node import NodeModel
+from repro.util.stats import geometric_mean_across
 from repro.workloads.kernels import KernelProfile
 
 __all__ = ["DseResult", "explore", "best_mean_config", "best_config_for"]
@@ -76,7 +77,7 @@ class DseResult:
     def mean_performance(self) -> np.ndarray:
         """Geometric-mean performance across applications at every point."""
         stacked = np.stack([self.performance[a] for a in self.performance])
-        return np.exp(np.log(stacked).mean(axis=0))
+        return geometric_mean_across(stacked, axis=0)
 
     def all_feasible_mask(self) -> np.ndarray:
         """Points feasible for every application simultaneously."""
@@ -88,6 +89,7 @@ def explore(
     profiles: Sequence[KernelProfile],
     space: DesignSpace | None = None,
     model: NodeModel | None = None,
+    cache=None,
 ) -> DseResult:
     """Sweep *space* for all *profiles* and locate the optima.
 
@@ -95,6 +97,13 @@ def explore(
     in-package); the budget applies to total node power, which at the DSE
     operating point is EHP package power plus the external memory
     network's static floor.
+
+    Grid evaluations go through the shared
+    :mod:`repro.perf.evalcache` memo, so re-exploring the same
+    (profiles, space, model) — as the experiment drivers routinely do —
+    reuses the earlier evaluations. Pass ``cache=False`` to bypass the
+    cache, or a specific :class:`~repro.perf.evalcache.EvalCache` to
+    isolate one.
     """
     if not profiles:
         raise ValueError("explore needs at least one profile")
@@ -103,26 +112,47 @@ def explore(
         raise ValueError("profile names must be unique")
     space = space or DesignSpace()
     model = model or NodeModel()
+    if cache is None:
+        from repro.perf.evalcache import default_cache
+
+        cache = default_cache()
 
     cus, freqs, bws = space.grid_arrays()
     performance: dict[str, np.ndarray] = {}
     node_power: dict[str, np.ndarray] = {}
     feasible: dict[str, np.ndarray] = {}
     for profile in profiles:
-        evaluation = model.evaluate_arrays(profile, cus, freqs, bws)
+        if cache is False:
+            evaluation = model.evaluate_arrays(profile, cus, freqs, bws)
+        else:
+            evaluation = cache.evaluate_arrays(
+                model, profile, cus, freqs, bws
+            )
         perf = np.asarray(evaluation.performance, dtype=float)
         power = np.asarray(evaluation.node_power, dtype=float)
         performance[profile.name] = perf
         node_power[profile.name] = power
         feasible[profile.name] = power <= space.power_budget
 
+    return _select_optima(space, performance, node_power, feasible)
+
+
+def _select_optima(
+    space: DesignSpace,
+    performance: Mapping[str, np.ndarray],
+    node_power: Mapping[str, np.ndarray],
+    feasible: Mapping[str, np.ndarray],
+) -> DseResult:
+    """Locate the best-mean and per-application optima on evaluated
+    grids (shared by :func:`explore` and the chunked parallel sweep)."""
+    names = list(performance)
     all_feasible = np.stack(list(feasible.values())).all(axis=0)
     if not all_feasible.any():
         raise RuntimeError(
             "no grid point satisfies the power budget for every application"
         )
-    mean_perf = np.exp(
-        np.log(np.stack([performance[n] for n in names])).mean(axis=0)
+    mean_perf = geometric_mean_across(
+        np.stack([performance[n] for n in names]), axis=0
     )
     mean_perf_masked = np.where(all_feasible, mean_perf, -np.inf)
     best_mean_index = int(np.argmax(mean_perf_masked))

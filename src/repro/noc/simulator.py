@@ -9,18 +9,27 @@ bounded queueing term approximates.
 This is deliberately flit-free (store-and-forward per message): the goal
 is first-order contention behaviour across a wide design space, matching
 the paper's choice of high-level simulation over cycle-level detail.
+
+The hot loop works on integers and flat lists rather than graph objects:
+links are enumerated once into integer ids with a latency table, every
+(src, dst) route is resolved once into a tuple of link ids, and per-link
+occupancy lives in flat ``busy_until`` lists. :meth:`NocSimulator.run`
+keeps its object API; :meth:`NocSimulator.run_batch` injects whole
+column arrays without building a ``SimMessage`` per message.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+import warnings
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.noc.routing import route
 from repro.noc.topology import EHPTopology
 
-__all__ = ["SimMessage", "LinkStats", "NocSimulator"]
+__all__ = ["SimMessage", "LinkStats", "SimResult", "NocSimulator"]
 
 
 @dataclass(frozen=True)
@@ -50,12 +59,21 @@ class LinkStats:
 
 @dataclass
 class SimResult:
-    """Aggregate simulation outcome."""
+    """Aggregate simulation outcome.
+
+    Per-link statistics ride along in :attr:`link_stats` (keyed by the
+    ``frozenset`` of the link's endpoint names), so a result is
+    self-contained — no state has to be fished back out of the simulator.
+    """
 
     delivered: int
     makespan: float
     total_bytes: float
     latencies: list[float] = field(repr=False, default_factory=list)
+    link_stats: Mapping[frozenset, LinkStats] = field(
+        repr=False, default_factory=dict
+    )
+    link_bandwidth: float = 0.0
 
     @property
     def mean_latency(self) -> float:
@@ -79,6 +97,20 @@ class SimResult:
             return 0.0
         return self.total_bytes / self.makespan
 
+    def link_utilization(
+        self, makespan: float | None = None
+    ) -> dict[frozenset, float]:
+        """Per-link busy fraction over *makespan* (default: the run's)."""
+        span = self.makespan if makespan is None else makespan
+        if span <= 0:
+            raise ValueError("makespan must be positive")
+        if self.link_bandwidth <= 0:
+            raise ValueError("result carries no link bandwidth")
+        return {
+            k: min(1.0, s.bytes_carried / self.link_bandwidth / span)
+            for k, s in self.link_stats.items()
+        }
+
 
 class NocSimulator:
     """Store-and-forward message simulator over the EHP topology.
@@ -101,6 +133,31 @@ class NocSimulator:
         self.topology = topology or EHPTopology()
         self.link_bandwidth = link_bandwidth
         self._route_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        # Integer link tables, built once from the topology graph.
+        self._link_names: list[frozenset] = []
+        self._link_latency: list[float] = []
+        self._link_id: dict[tuple[str, str], int] = {}
+        for a, b, data in self.topology.graph.edges(data=True):
+            lid = len(self._link_names)
+            self._link_names.append(frozenset((a, b)))
+            self._link_latency.append(float(data["latency"]))
+            self._link_id[(a, b)] = lid
+            self._link_id[(b, a)] = lid
+        self._path_links: dict[tuple[str, str], tuple[int, ...]] = {}
+        self._last_result: SimResult | None = None
+
+    @property
+    def links(self) -> dict[frozenset, LinkStats]:
+        """Deprecated alias for the last run's :attr:`SimResult.link_stats`."""
+        warnings.warn(
+            "NocSimulator.links is deprecated; use SimResult.link_stats "
+            "returned by run()/run_batch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._last_result is None:
+            return {}
+        return dict(self._last_result.link_stats)
 
     def _path(self, src: str, dst: str) -> tuple[str, ...]:
         key = (src, dst)
@@ -108,55 +165,168 @@ class NocSimulator:
             self._route_cache[key] = route(self.topology, src, dst).nodes
         return self._route_cache[key]
 
-    def run(self, messages: list[SimMessage]) -> SimResult:
+    def _links_for(self, src: str, dst: str) -> tuple[int, ...]:
+        """The route from *src* to *dst* as a tuple of integer link ids."""
+        key = (src, dst)
+        cached = self._path_links.get(key)
+        if cached is None:
+            nodes = self._path(src, dst)
+            cached = tuple(
+                self._link_id[(a, b)] for a, b in zip(nodes, nodes[1:])
+            )
+            self._path_links[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def run(self, messages: Sequence[SimMessage]) -> SimResult:
         """Deliver *messages*, honouring per-link serialization.
 
         Each message claims every link of its path in order; a link busy
         with an earlier message delays it (FCFS per link). Returns
-        aggregate latency/throughput statistics.
+        aggregate latency/throughput statistics plus per-link stats.
         """
         if not messages:
-            return SimResult(delivered=0, makespan=0.0, total_bytes=0.0)
-        links: dict[frozenset, LinkStats] = {}
-        counter = itertools.count()
-        heap: list[tuple[float, int, SimMessage]] = []
-        for m in messages:
-            heapq.heappush(heap, (m.inject_time, next(counter), m))
-
-        latencies: list[float] = []
-        makespan = 0.0
-        total_bytes = 0.0
-        while heap:
-            now, _, msg = heapq.heappop(heap)
-            path = self._path(msg.src, msg.dst)
-            t = now
-            for a, b in zip(path, path[1:]):
-                edge = self.topology.graph.edges[a, b]
-                link = links.setdefault(frozenset((a, b)), LinkStats())
-                start = max(t, link.busy_until)
-                serialize = msg.size_bytes / self.link_bandwidth
-                done = start + serialize + edge["latency"]
-                link.busy_until = start + serialize
-                link.bytes_carried += msg.size_bytes
-                link.messages += 1
-                t = done
-            latencies.append(t - msg.inject_time)
-            makespan = max(makespan, t)
-            total_bytes += msg.size_bytes
-
-        self.links = links
-        return SimResult(
-            delivered=len(messages),
-            makespan=makespan,
-            total_bytes=total_bytes,
-            latencies=latencies,
+            return self._finish(
+                SimResult(delivered=0, makespan=0.0, total_bytes=0.0,
+                          link_bandwidth=self.link_bandwidth)
+            )
+        return self._run(
+            [m.src for m in messages],
+            [m.dst for m in messages],
+            [m.size_bytes for m in messages],
+            [m.inject_time for m in messages],
         )
 
+    def run_batch(
+        self,
+        srcs: Sequence[str],
+        dsts: Sequence[str],
+        size_bytes,
+        inject_times,
+    ) -> SimResult:
+        """Batch-injection API: columns instead of message objects.
+
+        *srcs* and *dsts* are node-name sequences; *size_bytes* and
+        *inject_times* are array-likes (scalars broadcast). Semantics are
+        identical to wrapping each row in a :class:`SimMessage` and
+        calling :meth:`run`, without the per-object overhead.
+        """
+        n = len(srcs)
+        if len(dsts) != n:
+            raise ValueError("srcs and dsts must have equal length")
+        sizes = np.broadcast_to(
+            np.asarray(size_bytes, dtype=float), (n,)
+        )
+        times = np.broadcast_to(
+            np.asarray(inject_times, dtype=float), (n,)
+        )
+        if n == 0:
+            return self._finish(
+                SimResult(delivered=0, makespan=0.0, total_bytes=0.0,
+                          link_bandwidth=self.link_bandwidth)
+            )
+        if np.any(sizes <= 0):
+            raise ValueError("size_bytes must be positive")
+        if np.any(times < 0):
+            raise ValueError("inject_time must be non-negative")
+        return self._run(srcs, dsts, sizes.tolist(), times.tolist())
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        srcs: Sequence[str],
+        dsts: Sequence[str],
+        sizes: list[float],
+        times: list[float],
+    ) -> SimResult:
+        n = len(srcs)
+        # Resolve every message's route to a path id once; identical
+        # (src, dst) pairs share one integer-link tuple.
+        pid_of: dict[tuple[str, str], int] = {}
+        paths: list[tuple[int, ...]] = []
+        msg_pid = [0] * n
+        for k in range(n):
+            key = (srcs[k], dsts[k])
+            pid = pid_of.get(key)
+            if pid is None:
+                pid = len(paths)
+                pid_of[key] = pid
+                paths.append(self._links_for(*key))
+            msg_pid[k] = pid
+
+        # FCFS by injection time, ties broken by injection order (the
+        # same order the previous heap-based implementation processed).
+        order = np.argsort(np.asarray(times), kind="stable").tolist()
+
+        bandwidth = self.link_bandwidth
+        busy = [0.0] * len(self._link_names)
+        lat = self._link_latency
+        latencies: list[float] = []
+        append_latency = latencies.append
+        makespan = 0.0
+        total_bytes = 0.0
+        path_bytes = [0.0] * len(paths)
+        path_msgs = [0] * len(paths)
+
+        for k in order:
+            t0 = times[k]
+            size = sizes[k]
+            serialize = size / bandwidth
+            pid = msg_pid[k]
+            t = t0
+            for li in paths[pid]:
+                b = busy[li]
+                start = b if b > t else t
+                end = start + serialize
+                busy[li] = end
+                t = end + lat[li]
+            append_latency(t - t0)
+            if t > makespan:
+                makespan = t
+            total_bytes += size
+            path_bytes[pid] += size
+            path_msgs[pid] += 1
+
+        link_stats: dict[frozenset, LinkStats] = {}
+        for pid, links in enumerate(paths):
+            if not path_msgs[pid]:
+                continue
+            for li in links:
+                stats = link_stats.get(self._link_names[li])
+                if stats is None:
+                    stats = LinkStats()
+                    link_stats[self._link_names[li]] = stats
+                stats.bytes_carried += path_bytes[pid]
+                stats.messages += path_msgs[pid]
+                stats.busy_until = busy[li]
+
+        return self._finish(
+            SimResult(
+                delivered=n,
+                makespan=makespan,
+                total_bytes=total_bytes,
+                latencies=latencies,
+                link_stats=link_stats,
+                link_bandwidth=bandwidth,
+            )
+        )
+
+    def _finish(self, result: SimResult) -> SimResult:
+        self._last_result = result
+        return result
+
+    # ------------------------------------------------------------------
     def link_utilization(self, makespan: float) -> dict[frozenset, float]:
-        """Per-link busy fraction over *makespan* (after :meth:`run`)."""
+        """Per-link busy fraction over *makespan* (after a run).
+
+        Prefer :meth:`SimResult.link_utilization` on the returned result;
+        this method reads the last run and raises if none has happened
+        (instead of silently returning ``{}``).
+        """
         if makespan <= 0:
             raise ValueError("makespan must be positive")
-        return {
-            k: min(1.0, s.bytes_carried / self.link_bandwidth / makespan)
-            for k, s in getattr(self, "links", {}).items()
-        }
+        if self._last_result is None:
+            raise RuntimeError(
+                "link_utilization needs a completed run(); none yet"
+            )
+        return self._last_result.link_utilization(makespan)

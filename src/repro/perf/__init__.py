@@ -1,0 +1,34 @@
+"""Cross-cutting performance layer.
+
+* :mod:`repro.perf.evalcache` — a shared, fingerprint-keyed memo in
+  front of :meth:`repro.core.node.NodeModel.evaluate_arrays`, so every
+  (profile, design grid, model) combination is computed once no matter
+  how many experiment drivers ask for it.
+* :mod:`repro.perf.parallel` — a process-pool experiment runner and a
+  chunked parallel design-space exploration.
+
+``repro.perf.parallel`` is intentionally *not* imported here: it pulls
+in the experiment drivers (and through them :mod:`repro.core.dse`,
+which itself uses the cache), so importing it from the package root
+would create an import cycle. Import it explicitly::
+
+    from repro.perf.parallel import run_all_experiments
+"""
+
+from repro.perf.evalcache import (
+    CacheStats,
+    EvalCache,
+    cache_stats,
+    clear_cache,
+    default_cache,
+    evaluate_arrays_cached,
+)
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "cache_stats",
+    "clear_cache",
+    "default_cache",
+    "evaluate_arrays_cached",
+]

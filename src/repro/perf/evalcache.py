@@ -1,0 +1,268 @@
+"""Shared memoization of :meth:`NodeModel.evaluate_arrays`.
+
+The evaluation drivers all re-evaluate the same handful of kernel
+profiles on the same design grids with the same model parameters: the
+full DSE alone is rerun by the Section V summary, Table II, the
+reconfiguration governor and several examples. A single evaluation of a
+fine grid costs hundreds of milliseconds, so the layer in front of it is
+a plain keyed memo:
+
+``(profile fingerprint, model fingerprint, grid fingerprint,
+ext-fraction fingerprint, extra latency) -> NodeEvaluation``
+
+Fingerprints are SHA-1 digests of the frozen dataclasses' ``repr`` (all
+model inputs are frozen dataclasses of scalars, so their repr is a
+faithful value encoding) and of the raw grid-array bytes. Two
+:class:`~repro.core.node.NodeModel` instances with equal parameters
+therefore share cache entries, and *any* parameter change — a different
+``PowerParams``, an optimization applied, another external-memory
+configuration — changes the fingerprint and misses cleanly.
+
+Cached :class:`~repro.core.node.NodeEvaluation` objects are shared:
+treat their arrays as read-only (the library's own consumers never
+mutate them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.node import NodeEvaluation, NodeModel
+from repro.workloads.kernels import KernelProfile
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "default_cache",
+    "evaluate_arrays_cached",
+    "cache_stats",
+    "clear_cache",
+]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters exposed by :meth:`EvalCache.stats`."""
+
+    hits: int
+    misses: int
+    entries: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache is cold)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+def fingerprint_model(model: NodeModel) -> str:
+    """Value fingerprint of (MachineParams, PowerParams, ExtConfig)."""
+    return _digest(
+        repr((model.machine, model.power_params, model.ext_config))
+    )
+
+
+def fingerprint_profile(profile: KernelProfile) -> str:
+    """Value fingerprint of one kernel profile (all fields, not just
+    the name — overridden copies must not collide)."""
+    return _digest(repr(profile))
+
+
+def fingerprint_array(value) -> str:
+    """Fingerprint of one design-point axis (scalar or array)."""
+    if value is None:
+        return "none"
+    arr = np.ascontiguousarray(np.asarray(value, dtype=float))
+    h = hashlib.sha1(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class EvalCache:
+    """Keyed memo fronting :meth:`NodeModel.evaluate_arrays`.
+
+    Parameters
+    ----------
+    maxsize:
+        Optional LRU bound on cached evaluations; ``None`` (default)
+        keeps everything. The working set is one entry per distinct
+        (profile, grid, model) triple, which the full experiment suite
+        keeps in the dozens.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, NodeEvaluation] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def _key(
+        self,
+        model: NodeModel,
+        profile: KernelProfile,
+        n_cus,
+        freq,
+        bandwidth,
+        ext_fraction,
+        extra_latency: float,
+    ) -> tuple:
+        return (
+            fingerprint_profile(profile),
+            fingerprint_model(model),
+            fingerprint_array(n_cus),
+            fingerprint_array(freq),
+            fingerprint_array(bandwidth),
+            fingerprint_array(ext_fraction),
+            float(extra_latency),
+        )
+
+    def evaluate_arrays(
+        self,
+        model: NodeModel,
+        profile: KernelProfile,
+        n_cus,
+        freq,
+        bandwidth,
+        *,
+        ext_fraction=None,
+        extra_latency: float = 0.0,
+    ) -> NodeEvaluation:
+        """Cached equivalent of ``model.evaluate_arrays(...)``."""
+        key = self._key(
+            model, profile, n_cus, freq, bandwidth, ext_fraction,
+            extra_latency,
+        )
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self._misses += 1
+        evaluation = model.evaluate_arrays(
+            profile,
+            n_cus,
+            freq,
+            bandwidth,
+            ext_fraction=ext_fraction,
+            extra_latency=extra_latency,
+        )
+        with self._lock:
+            self._entries[key] = evaluation
+            self._entries.move_to_end(key)
+            if self.maxsize is not None:
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return evaluation
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Hit/miss/entry counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+                evictions=self._evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def invalidate(
+        self,
+        profile: KernelProfile | None = None,
+        model: NodeModel | None = None,
+    ) -> int:
+        """Explicitly drop entries for *profile* and/or *model*.
+
+        With both ``None`` every entry is dropped (counters are kept —
+        use :meth:`clear` to reset those too). Returns the number of
+        evicted entries.
+        """
+        with self._lock:
+            if profile is None and model is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            pfp = None if profile is None else fingerprint_profile(profile)
+            mfp = None if model is None else fingerprint_model(model)
+            doomed = [
+                k
+                for k in self._entries
+                if (pfp is None or k[0] == pfp)
+                and (mfp is None or k[1] == mfp)
+            ]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
+
+
+_default_cache = EvalCache()
+
+
+def default_cache() -> EvalCache:
+    """The process-wide shared cache the library routes through."""
+    return _default_cache
+
+
+def evaluate_arrays_cached(
+    model: NodeModel,
+    profile: KernelProfile,
+    n_cus,
+    freq,
+    bandwidth,
+    *,
+    ext_fraction=None,
+    extra_latency: float = 0.0,
+    cache: EvalCache | None = None,
+) -> NodeEvaluation:
+    """Module-level convenience over :meth:`EvalCache.evaluate_arrays`.
+
+    ``cache=None`` uses the shared :func:`default_cache`.
+    """
+    cache = cache if cache is not None else _default_cache
+    return cache.evaluate_arrays(
+        model,
+        profile,
+        n_cus,
+        freq,
+        bandwidth,
+        ext_fraction=ext_fraction,
+        extra_latency=extra_latency,
+    )
+
+
+def cache_stats() -> CacheStats:
+    """Counters of the shared default cache."""
+    return _default_cache.stats()
+
+
+def clear_cache() -> None:
+    """Reset the shared default cache (entries and counters)."""
+    _default_cache.clear()

@@ -1,0 +1,205 @@
+"""Process-parallel experiment execution.
+
+Two fan-outs live here:
+
+* :func:`run_all_experiments` — run any subset of the registered
+  figure/table drivers across a ``ProcessPoolExecutor``. The drivers
+  are independent of each other, so the suite's wall-clock collapses to
+  roughly its slowest member. Results come back keyed and ordered by
+  the registry's canonical order regardless of completion order, and a
+  serial fallback (``parallel=False``, a failed pool spawn, or a
+  single-worker environment) produces byte-identical results through
+  the same code path workers use.
+* :func:`parallel_explore` — the design-space exploration with the
+  grid split into chunks evaluated across the pool, for fine grids
+  (hundreds of thousands of points) where a single serial sweep is the
+  bottleneck. Chunk results are concatenated in order, so the outcome
+  is identical to :func:`repro.core.dse.explore`.
+
+Worker processes each hold their own :mod:`repro.perf.evalcache`; the
+serial path shares the parent's default cache, which is what makes
+running every experiment evaluate each (profile, grid, model) triple at
+most once.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import DesignSpace
+from repro.core.dse import DseResult, _select_optima
+from repro.core.node import NodeModel
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.perf.evalcache import evaluate_arrays_cached
+from repro.workloads.kernels import KernelProfile
+
+__all__ = ["run_all_experiments", "run_experiments", "parallel_explore"]
+
+
+def _run_one(name: str) -> ExperimentResult:
+    """Execute one registered driver (module-level: picklable)."""
+    return get_experiment(name)()
+
+
+def _default_workers(n_tasks: int) -> int:
+    cpus = os.cpu_count() or 1
+    return max(1, min(n_tasks, cpus))
+
+
+def run_experiments(
+    names: Sequence[str] | None = None,
+    *,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run the named experiments, fanned across worker processes.
+
+    Parameters
+    ----------
+    names:
+        Artifact names from the registry; ``None`` means all of them.
+    parallel:
+        ``False`` forces the in-process serial path (also used as the
+        automatic fallback if the process pool cannot be spawned).
+    max_workers:
+        Pool size; defaults to ``min(len(names), cpu_count)``. A value
+        of 1 short-circuits to the serial path.
+
+    Returns a dict ordered by the registry's canonical order — never by
+    completion order — so output is deterministic.
+    """
+    if names is None:
+        ordered = list(EXPERIMENTS)
+    else:
+        ordered = [n for n in EXPERIMENTS if n in set(names)]
+        unknown = set(names) - set(EXPERIMENTS)
+        if unknown:
+            raise KeyError(
+                f"unknown experiment(s): {', '.join(sorted(unknown))}"
+            )
+    if not ordered:
+        return {}
+
+    workers = max_workers or _default_workers(len(ordered))
+    if parallel and workers > 1 and len(ordered) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {n: pool.submit(_run_one, n) for n in ordered}
+                return {n: futures[n].result() for n in ordered}
+        except (OSError, PermissionError):
+            # Sandboxes without process spawning fall back to serial.
+            pass
+    return {n: _run_one(n) for n in ordered}
+
+
+def run_all_experiments(
+    *,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> dict[str, ExperimentResult]:
+    """Every registered figure/table artifact, canonical order."""
+    return run_experiments(
+        None, parallel=parallel, max_workers=max_workers
+    )
+
+
+# ----------------------------------------------------------------------
+# Chunked design-space exploration
+# ----------------------------------------------------------------------
+def _eval_chunk(
+    model: NodeModel,
+    profile: KernelProfile,
+    cus: np.ndarray,
+    freqs: np.ndarray,
+    bws: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One grid chunk for one profile (module-level: picklable).
+
+    Routes through the worker's evaluation cache so repeated parallel
+    sweeps in a long-lived pool still reuse work.
+    """
+    ev = evaluate_arrays_cached(model, profile, cus, freqs, bws)
+    return (
+        np.asarray(ev.performance, dtype=float),
+        np.asarray(ev.node_power, dtype=float),
+    )
+
+
+def parallel_explore(
+    profiles: Sequence[KernelProfile],
+    space: DesignSpace | None = None,
+    model: NodeModel | None = None,
+    *,
+    n_chunks: int | None = None,
+    max_workers: int | None = None,
+) -> DseResult:
+    """The full DSE with the grid chunked across worker processes.
+
+    Produces a :class:`~repro.core.dse.DseResult` identical to the
+    serial :func:`repro.core.dse.explore` (chunks are concatenated in
+    grid order before the optima are selected). Worth it for fine grids;
+    on the default 1617-point grid the serial sweep is already cheap.
+    """
+    if not profiles:
+        raise ValueError("parallel_explore needs at least one profile")
+    names = [p.name for p in profiles]
+    if len(set(names)) != len(names):
+        raise ValueError("profile names must be unique")
+    space = space or DesignSpace()
+    model = model or NodeModel()
+    cus, freqs, bws = space.grid_arrays()
+
+    workers = max_workers or _default_workers(len(profiles))
+    if n_chunks is None:
+        n_chunks = workers
+    n_chunks = max(1, min(n_chunks, cus.size))
+    bounds = np.linspace(0, cus.size, n_chunks + 1, dtype=int)
+    chunks = [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+
+    tasks = [
+        (profile, lo, hi) for profile in profiles for lo, hi in chunks
+    ]
+    results: list[tuple[np.ndarray, np.ndarray]]
+    if workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _eval_chunk, model, p, cus[lo:hi], freqs[lo:hi],
+                        bws[lo:hi],
+                    )
+                    for p, lo, hi in tasks
+                ]
+                results = [f.result() for f in futures]
+        except (OSError, PermissionError):
+            results = [
+                _eval_chunk(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
+                for p, lo, hi in tasks
+            ]
+    else:
+        results = [
+            _eval_chunk(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
+            for p, lo, hi in tasks
+        ]
+
+    performance: dict[str, np.ndarray] = {}
+    node_power: dict[str, np.ndarray] = {}
+    feasible: dict[str, np.ndarray] = {}
+    per_profile = len(chunks)
+    for p_idx, profile in enumerate(profiles):
+        rows = results[p_idx * per_profile: (p_idx + 1) * per_profile]
+        perf = np.concatenate([r[0].ravel() for r in rows])
+        power = np.concatenate([r[1].ravel() for r in rows])
+        performance[profile.name] = perf
+        node_power[profile.name] = power
+        feasible[profile.name] = power <= space.power_budget
+    return _select_optima(space, performance, node_power, feasible)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of strictly positive values.
@@ -17,6 +19,25 @@ def geometric_mean(values: Iterable[float]) -> float:
     if any(v <= 0 for v in vals):
         raise ValueError("geometric_mean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geometric_mean_across(stacked, axis: int = 0) -> np.ndarray:
+    """Element-wise geometric mean of an array along *axis*.
+
+    The cross-application average the design-space exploration uses:
+    ``stacked`` is typically ``(n_apps, n_grid_points)`` and the result
+    has one geometric mean per grid point. Guards against zero/negative
+    entries before taking logs (where ``np.log`` would silently emit
+    ``-inf``/``nan``).
+    """
+    arr = np.asarray(stacked, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean_across of empty array")
+    if np.any(arr <= 0):
+        raise ValueError(
+            "geometric_mean_across requires strictly positive values"
+        )
+    return np.exp(np.log(arr).mean(axis=axis))
 
 
 def harmonic_mean(values: Iterable[float]) -> float:

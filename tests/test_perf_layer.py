@@ -1,0 +1,297 @@
+"""The cross-cutting performance layer: cached thermal factorization,
+vectorized assembly, the shared evaluation cache, the parallel
+experiment runner, and the NoC fast path."""
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import spsolve
+
+from repro.core.dse import explore
+from repro.core.node import NodeModel
+from repro.noc.simulator import NocSimulator, SimMessage
+from repro.perf.evalcache import EvalCache, evaluate_arrays_cached
+from repro.perf.parallel import (
+    parallel_explore,
+    run_all_experiments,
+    run_experiments,
+)
+from repro.power.components import PowerParams
+from repro.thermal.grid import ThermalGrid
+from repro.workloads.catalog import get_application
+
+
+class TestVectorizedAssembly:
+    @pytest.mark.parametrize("nx,ny", [(4, 3), (9, 5), (22, 8)])
+    def test_matches_reference_exactly(self, nx, ny):
+        grid = ThermalGrid(10.0, 6.0, nx=nx, ny=ny)
+        fast, b_fast = grid._assemble()
+        ref, b_ref = grid._assemble_reference()
+        fast.sort_indices()
+        ref.sort_indices()
+        assert np.array_equal(fast.indptr, ref.indptr)
+        assert np.array_equal(fast.indices, ref.indices)
+        # Diagonal accumulation replays the reference loop's addition
+        # order, so the match is bit-exact, not merely approximate.
+        assert np.array_equal(fast.data, ref.data)
+        assert np.array_equal(b_fast, b_ref)
+
+
+class TestCachedThermalSolve:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return ThermalGrid(66.0, 22.0, nx=33, ny=11)
+
+    def test_matches_spsolve(self, grid):
+        rng = np.random.default_rng(7)
+        maps = rng.random((3, grid.ny, grid.nx))
+        field = grid.solve(maps)
+        matrix, b_amb = grid._assemble_reference()
+        ref = spsolve(matrix, maps.ravel() + b_amb * grid.stack.ambient_c)
+        assert np.abs(field.celsius.ravel() - ref).max() < 1e-9
+
+    def test_factorization_reused(self, grid):
+        maps = np.zeros((3, grid.ny, grid.nx))
+        maps[1, 4, 10] = 5.0
+        grid.solve(maps)
+        assert grid.factorization_cached
+        factor = grid._factor
+        grid.solve(maps * 2)
+        assert grid._factor is factor
+        grid.invalidate()
+        assert not grid.factorization_cached
+
+    def test_solve_many_matches_sequential(self, grid):
+        rng = np.random.default_rng(11)
+        batch = rng.random((5, 3, grid.ny, grid.nx))
+        fields = grid.solve_many(batch)
+        assert len(fields) == 5
+        for k, field in enumerate(fields):
+            single = grid.solve(batch[k])
+            assert np.abs(field.celsius - single.celsius).max() < 1e-9
+
+    def test_solve_many_validates(self, grid):
+        with pytest.raises(ValueError):
+            grid.solve_many(np.zeros((3, grid.ny, grid.nx)))
+        with pytest.raises(ValueError):
+            grid.solve(np.zeros((2, 3, grid.ny, grid.nx)))
+        assert grid.solve_many(np.zeros((0, 3, grid.ny, grid.nx))) == []
+
+
+class TestEvalCache:
+    def test_hit_miss_counters(self):
+        cache = EvalCache()
+        model = NodeModel()
+        profile = get_application("CoMD")
+        cus = np.array([256.0, 320.0])
+        ev1 = cache.evaluate_arrays(model, profile, cus, 1.0e9, 3.0e12)
+        assert cache.stats().misses == 1 and cache.stats().hits == 0
+        ev2 = cache.evaluate_arrays(model, profile, cus, 1.0e9, 3.0e12)
+        assert cache.stats().hits == 1
+        assert ev2 is ev1  # the memoized object itself
+        # A fresh-but-equal model still hits: keys are value fingerprints.
+        ev3 = cache.evaluate_arrays(NodeModel(), profile, cus, 1.0e9, 3.0e12)
+        assert ev3 is ev1
+        assert cache.stats().hits == 2
+
+    def test_model_fingerprint_differentiates(self):
+        cache = EvalCache()
+        profile = get_application("CoMD")
+        cus = np.array([256.0])
+        cache.evaluate_arrays(NodeModel(), profile, cus, 1.0e9, 3.0e12)
+        tweaked = NodeModel(
+            power_params=PowerParams(cu_leakage_watt=0.05)
+        )
+        cache.evaluate_arrays(tweaked, profile, cus, 1.0e9, 3.0e12)
+        assert cache.stats().misses == 2
+
+    def test_profile_and_axis_fingerprints(self):
+        cache = EvalCache()
+        model = NodeModel()
+        profile = get_application("CoMD")
+        cache.evaluate_arrays(model, profile, 320.0, 1.0e9, 3.0e12)
+        cache.evaluate_arrays(
+            model, profile.with_overrides(cu_utilization=0.5),
+            320.0, 1.0e9, 3.0e12,
+        )
+        cache.evaluate_arrays(model, profile, 320.0, 1.1e9, 3.0e12)
+        cache.evaluate_arrays(
+            model, profile, 320.0, 1.0e9, 3.0e12, ext_fraction=0.5
+        )
+        assert cache.stats().misses == 4
+        assert cache.stats().hits == 0
+
+    def test_invalidation(self):
+        cache = EvalCache()
+        model = NodeModel()
+        comd = get_application("CoMD")
+        snap = get_application("SNAP")
+        cache.evaluate_arrays(model, comd, 320.0, 1.0e9, 3.0e12)
+        cache.evaluate_arrays(model, snap, 320.0, 1.0e9, 3.0e12)
+        assert cache.invalidate(profile=comd) == 1
+        assert cache.stats().entries == 1
+        # CoMD misses again, SNAP still hits.
+        cache.evaluate_arrays(model, comd, 320.0, 1.0e9, 3.0e12)
+        cache.evaluate_arrays(model, snap, 320.0, 1.0e9, 3.0e12)
+        assert cache.stats().misses == 3
+        assert cache.stats().hits == 1
+        assert cache.invalidate() == 2
+        assert cache.stats().entries == 0
+
+    def test_lru_bound(self):
+        cache = EvalCache(maxsize=1)
+        model = NodeModel()
+        profile = get_application("CoMD")
+        cache.evaluate_arrays(model, profile, 320.0, 1.0e9, 3.0e12)
+        cache.evaluate_arrays(model, profile, 256.0, 1.0e9, 3.0e12)
+        stats = cache.stats()
+        assert stats.entries == 1 and stats.evictions == 1
+
+    def test_explore_uses_cache(self):
+        cache = EvalCache()
+        profiles = [get_application("CoMD"), get_application("SNAP")]
+        r1 = explore(profiles, cache=cache)
+        assert cache.stats().misses == len(profiles)
+        r2 = explore(profiles, cache=cache)
+        assert cache.stats().hits == len(profiles)
+        assert r1.best_mean_index == r2.best_mean_index
+        for name in r1.performance:
+            assert np.array_equal(r1.performance[name], r2.performance[name])
+        # Bypass leaves the counters untouched and agrees numerically.
+        r3 = explore(profiles, cache=False)
+        assert cache.stats().requests == 2 * len(profiles)
+        assert r3.best_mean_index == r1.best_mean_index
+
+    def test_cached_helper_matches_direct(self):
+        model = NodeModel()
+        profile = get_application("LULESH")
+        cus = np.array([192.0, 384.0])
+        direct = model.evaluate_arrays(profile, cus, 1.0e9, 3.0e12)
+        cached = evaluate_arrays_cached(
+            model, profile, cus, 1.0e9, 3.0e12, cache=EvalCache()
+        )
+        assert np.array_equal(
+            np.asarray(direct.performance), np.asarray(cached.performance)
+        )
+        assert np.array_equal(
+            np.asarray(direct.node_power), np.asarray(cached.node_power)
+        )
+
+
+class TestParallelRunner:
+    SUBSET = ["table1", "fig7", "dse"]
+
+    def test_serial_and_parallel_identical(self):
+        serial = run_experiments(self.SUBSET, parallel=False)
+        parallel = run_experiments(self.SUBSET, parallel=True, max_workers=2)
+        assert list(serial) == list(parallel) == self.SUBSET
+        for name in self.SUBSET:
+            assert serial[name].rendered == parallel[name].rendered
+            assert serial[name].data == parallel[name].data
+
+    def test_order_is_canonical_not_request_order(self):
+        results = run_experiments(["fig7", "table1"], parallel=False)
+        assert list(results) == ["table1", "fig7"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"], parallel=False)
+
+    def test_run_all_covers_registry(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        results = run_all_experiments(parallel=False)
+        assert list(results) == list(EXPERIMENTS)
+
+    def test_parallel_explore_identical_to_serial(self):
+        profiles = [get_application("CoMD"), get_application("MaxFlops")]
+        serial = explore(profiles, cache=False)
+        chunked = parallel_explore(profiles, n_chunks=5, max_workers=2)
+        assert chunked.best_mean_index == serial.best_mean_index
+        assert chunked.per_app_best_index == serial.per_app_best_index
+        for name in serial.performance:
+            assert np.array_equal(
+                serial.performance[name], chunked.performance[name]
+            )
+            assert np.array_equal(
+                serial.node_power[name], chunked.node_power[name]
+            )
+
+
+class TestNocFastPath:
+    def _messages(self):
+        rng = np.random.default_rng(3)
+        nodes = [f"gpu{i}" for i in range(8)] + [f"dram{i}" for i in range(8)]
+        pairs = [
+            (nodes[a], nodes[b])
+            for a, b in rng.integers(0, len(nodes), size=(300, 2))
+            if a != b
+        ]
+        return [
+            SimMessage(s, d, 4096.0, (k // 3) * 1e-8)
+            for k, (s, d) in enumerate(pairs)
+        ]
+
+    def test_run_batch_matches_run(self):
+        msgs = self._messages()
+        res_obj = NocSimulator().run(msgs)
+        res_batch = NocSimulator().run_batch(
+            [m.src for m in msgs],
+            [m.dst for m in msgs],
+            [m.size_bytes for m in msgs],
+            [m.inject_time for m in msgs],
+        )
+        assert res_batch.latencies == res_obj.latencies
+        assert res_batch.makespan == res_obj.makespan
+        assert res_batch.total_bytes == res_obj.total_bytes
+
+    def test_run_batch_broadcasts_scalars(self):
+        res = NocSimulator().run_batch(
+            ["gpu0", "gpu1"], ["dram5", "dram6"], 4096.0, 0.0
+        )
+        assert res.delivered == 2
+
+    def test_run_batch_validates(self):
+        sim = NocSimulator()
+        with pytest.raises(ValueError):
+            sim.run_batch(["gpu0"], ["dram0"], 0.0, 0.0)
+        with pytest.raises(ValueError):
+            sim.run_batch(["gpu0"], ["dram0"], 64.0, -1.0)
+        with pytest.raises(ValueError):
+            sim.run_batch(["gpu0"], [], 64.0, 0.0)
+
+    def test_link_stats_live_on_result(self):
+        msgs = self._messages()
+        res = NocSimulator().run(msgs)
+        assert res.link_stats
+        total_msgs = sum(s.messages for s in res.link_stats.values())
+        assert total_msgs >= len(msgs)  # every message crosses >=1 link
+        util = res.link_utilization()
+        assert util and all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_links_attribute_deprecated(self):
+        sim = NocSimulator()
+        res = sim.run(self._messages())
+        with pytest.deprecated_call():
+            legacy = sim.links
+        assert legacy == dict(res.link_stats)
+
+    def test_simulator_utilization_requires_run(self):
+        sim = NocSimulator()
+        with pytest.raises(RuntimeError):
+            sim.link_utilization(1.0)
+        res = sim.run(self._messages())
+        assert sim.link_utilization(res.makespan) == res.link_utilization()
+
+
+class TestGeometricMeanAcross:
+    def test_guards(self):
+        from repro.util.stats import geometric_mean_across
+
+        with pytest.raises(ValueError):
+            geometric_mean_across(np.array([]))
+        with pytest.raises(ValueError):
+            geometric_mean_across(np.array([[1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            geometric_mean_across(np.array([[1.0, -2.0]]))
+        out = geometric_mean_across(np.array([[2.0, 8.0], [8.0, 2.0]]))
+        assert out == pytest.approx([4.0, 4.0])

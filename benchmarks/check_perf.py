@@ -9,6 +9,8 @@ replicated below) and asserts the speedup ratios the layer promises:
 * repeat ``ThermalGrid.solve`` >= 10x over re-factorizing every call,
 * ``solve_many`` over 20 maps >= 15x over 20 sequential seed solves,
 * a 100k-message NoC run >= 5x over the seed hot loop,
+* the APU simulator's array engine >= 5x over the event-driven oracle
+  on the default calibration trace,
 
 plus numerical agreement (1e-9) between fast and reference paths.
 
@@ -36,7 +38,9 @@ from scipy.sparse.linalg import spsolve
 
 from repro.noc.routing import route
 from repro.noc.simulator import LinkStats, NocSimulator, SimMessage
+from repro.sim.apu_sim import ApuSimulator
 from repro.thermal.grid import ThermalGrid
+from repro.workloads.calibration import default_calibration_trace
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -168,6 +172,47 @@ def check_noc(quick: bool) -> list[str]:
     return failures
 
 
+def check_apu_sim(quick: bool) -> list[str]:
+    n = 10_000 if quick else 50_000
+    trace = default_calibration_trace(n_accesses=n)
+    sim = ApuSimulator()
+
+    array = sim.run(trace)
+    event = sim.run(trace, engine="event")
+    fields = {
+        "elapsed": (array.elapsed, event.elapsed),
+        "total_flops": (array.total_flops, event.total_flops),
+        "mean_memory_latency": (
+            array.mean_memory_latency, event.mean_memory_latency
+        ),
+        "cu_utilization": (array.cu_utilization, event.cu_utilization),
+    }
+    err = max(
+        abs(a - e) / max(abs(e), 1e-300) for a, e in fields.values()
+    )
+    counts_match = (
+        array.dram_accesses == event.dram_accesses
+        and array.hit_rates == event.hit_rates
+    )
+
+    t_array = _best_of(lambda: sim.run(trace), 3)
+    t_event = _best_of(lambda: sim.run(trace, engine="event"), 2)
+    ratio = t_event / t_array
+    print(f"apu_sim {n // 1000}k accesses: array {t_array * 1e3:.0f} ms vs "
+          f"event {t_event * 1e3:.0f} ms -> {ratio:.1f}x "
+          f"(max rel err = {err:.2e})")
+
+    failures = []
+    if err > 1e-9 or not counts_match:
+        failures.append(
+            f"apu_sim array engine diverged from event oracle "
+            f"(rel err {err:.2e}, counts match: {counts_match})"
+        )
+    if ratio < 5.0:
+        failures.append(f"apu_sim array-engine speedup {ratio:.1f}x < 5x")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -177,7 +222,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    failures = check_thermal(args.quick) + check_noc(args.quick)
+    failures = (
+        check_thermal(args.quick)
+        + check_noc(args.quick)
+        + check_apu_sim(args.quick)
+    )
     if failures:
         print("\nPERF REGRESSION:")
         for f in failures:

@@ -13,7 +13,9 @@ import numpy as np
 from repro.noc.simulator import NocSimulator, SimMessage
 from repro.perf.evalcache import EvalCache
 from repro.perf.parallel import run_all_experiments
+from repro.sim.apu_sim import ApuSimulator
 from repro.thermal.grid import ThermalGrid
+from repro.workloads.calibration import default_calibration_trace
 from repro.workloads.catalog import APPLICATIONS
 
 GRID_NX = GRID_NY = 132
@@ -57,6 +59,32 @@ def test_bench_noc_100k(benchmark):
     benchmark.pedantic(
         lambda: NocSimulator().run(msgs), rounds=3, iterations=1
     )
+
+
+def test_bench_apu_sim_array_50k(benchmark):
+    """Array-engine simulation of the 50k-access calibration trace."""
+    trace = default_calibration_trace()
+    sim = ApuSimulator()
+    benchmark.pedantic(sim.run, args=(trace,), rounds=3, iterations=1)
+
+
+def test_bench_apu_sim_event_50k(benchmark):
+    """Event-engine oracle on the same trace (tracks the ratio)."""
+    trace = default_calibration_trace()
+    sim = ApuSimulator(engine="event")
+    benchmark.pedantic(sim.run, args=(trace,), rounds=2, iterations=1)
+
+
+def test_bench_apu_sim_batch(benchmark):
+    """run_batch over the eight Table I applications' traces."""
+    from repro.workloads.traces import TraceGenerator
+
+    traces = [
+        TraceGenerator(p, seed=42).generate(10_000)
+        for p in APPLICATIONS.values()
+    ]
+    sim = ApuSimulator()
+    benchmark.pedantic(sim.run_batch, args=(traces,), rounds=2, iterations=1)
 
 
 def test_bench_eval_cache_warm(benchmark):

@@ -24,7 +24,29 @@ from repro.workloads.calibration import PAPER_TABLE2
 from repro.workloads.catalog import get_application
 from repro.workloads.kernels import KernelProfile
 
-__all__ = ["run_fig10", "run_fig11", "best_app_config"]
+__all__ = [
+    "run_fig10",
+    "run_fig11",
+    "best_app_config",
+    "shared_thermal_model",
+]
+
+_SHARED_THERMAL: ThermalModel | None = None
+
+
+def shared_thermal_model() -> ThermalModel:
+    """The process-wide :class:`ThermalModel` the drivers share.
+
+    The conductance matrix, its LU factorization and the rasterized
+    floorplan masks depend only on the (fixed) default geometry, so one
+    instance serves every driver; each caller then pays only the
+    back-substitution. Pass an explicit ``thermal=`` to a driver to opt
+    out (e.g. for a non-default floorplan).
+    """
+    global _SHARED_THERMAL
+    if _SHARED_THERMAL is None:
+        _SHARED_THERMAL = ThermalModel()
+    return _SHARED_THERMAL
 
 
 def best_app_config(app: str) -> EHPConfig:
@@ -35,16 +57,13 @@ def best_app_config(app: str) -> EHPConfig:
     )
 
 
-def _peak_dram(
-    profile: KernelProfile,
-    config: EHPConfig,
-    model: NodeModel,
-    thermal: ThermalModel,
-) -> float:
+def _power_at(
+    profile: KernelProfile, config: EHPConfig, model: NodeModel
+):
     ev = model.evaluate(
         profile, config, ext_fraction=profile.ext_memory_fraction
     )
-    return thermal.analyze(ev.power).peak_dram_c
+    return ev.power
 
 
 def run_fig10(
@@ -53,16 +72,23 @@ def run_fig10(
 ) -> ExperimentResult:
     """Regenerate Fig. 10's two bars per application."""
     model = model or NodeModel()
-    thermal = thermal or ThermalModel()
+    thermal = thermal or shared_thermal_model()
     table = TextTable(
         ["Application", "Best-mean config (C)", "Best-per-app config (C)"]
     )
-    data = {}
-    for profile in all_profiles():
-        t_mean = _peak_dram(profile, PAPER_BEST_MEAN, model, thermal)
-        t_app = _peak_dram(
-            profile, best_app_config(profile.name), model, thermal
+    # Batch all 2-per-application solves through one factorization.
+    profiles = list(all_profiles())
+    powers = []
+    for profile in profiles:
+        powers.append(_power_at(profile, PAPER_BEST_MEAN, model))
+        powers.append(
+            _power_at(profile, best_app_config(profile.name), model)
         )
+    reports = thermal.analyze_many(powers)
+    data = {}
+    for k, profile in enumerate(profiles):
+        t_mean = reports[2 * k].peak_dram_c
+        t_app = reports[2 * k + 1].peak_dram_c
         table.add_row([profile.name, t_mean, t_app])
         data[profile.name] = {"best_mean_c": t_mean, "best_app_c": t_app}
     return ExperimentResult(
@@ -100,7 +126,7 @@ def run_fig11(
 ) -> ExperimentResult:
     """Regenerate Fig. 11: SNAP's bottom DRAM-die heat map, two configs."""
     model = model or NodeModel()
-    thermal = thermal or ThermalModel()
+    thermal = thermal or shared_thermal_model()
     profile = get_application(app)
     sections = []
     data = {}

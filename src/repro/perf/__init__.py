@@ -1,9 +1,10 @@
 """Cross-cutting performance layer.
 
-* :mod:`repro.perf.evalcache` — a shared, fingerprint-keyed memo in
-  front of :meth:`repro.core.node.NodeModel.evaluate_arrays`, so every
-  (profile, design grid, model) combination is computed once no matter
-  how many experiment drivers ask for it.
+* :mod:`repro.perf.evalcache` — shared, fingerprint-keyed memos in
+  front of :meth:`repro.core.node.NodeModel.evaluate_arrays` and
+  :meth:`repro.sim.apu_sim.ApuSimulator.run`, so every (profile, design
+  grid, model) combination and every (sim config, trace, engine)
+  simulation is computed once no matter how many drivers ask for it.
 * :mod:`repro.perf.parallel` — a process-pool experiment runner and a
   chunked parallel design-space exploration.
 
@@ -18,17 +19,23 @@ would create an import cycle. Import it explicitly::
 from repro.perf.evalcache import (
     CacheStats,
     EvalCache,
+    SimCache,
     cache_stats,
     clear_cache,
     default_cache,
+    default_sim_cache,
     evaluate_arrays_cached,
+    simulate_trace_cached,
 )
 
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "SimCache",
     "cache_stats",
     "clear_cache",
     "default_cache",
+    "default_sim_cache",
     "evaluate_arrays_cached",
+    "simulate_trace_cached",
 ]

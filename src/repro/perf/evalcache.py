@@ -1,4 +1,4 @@
-"""Shared memoization of :meth:`NodeModel.evaluate_arrays`.
+"""Shared memoization of the evaluation-layer hot calls.
 
 The evaluation drivers all re-evaluate the same handful of kernel
 profiles on the same design grids with the same model parameters: the
@@ -18,9 +18,15 @@ therefore share cache entries, and *any* parameter change — a different
 ``PowerParams``, an optimization applied, another external-memory
 configuration — changes the fingerprint and misses cleanly.
 
-Cached :class:`~repro.core.node.NodeEvaluation` objects are shared:
-treat their arrays as read-only (the library's own consumers never
-mutate them).
+The same scheme fronts the trace-driven APU simulator
+(:class:`SimCache`): ``(sim-config fingerprint, trace fingerprint,
+engine) -> ApuSimResult``, so calibration cross-check sweeps that replay
+one kernel's trace against several engines/configs never re-simulate a
+(config, trace) pair they have already measured.
+
+Cached :class:`~repro.core.node.NodeEvaluation` /
+:class:`~repro.sim.apu_sim.ApuSimResult` objects are shared: treat their
+arrays as read-only (the library's own consumers never mutate them).
 """
 
 from __future__ import annotations
@@ -29,17 +35,25 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.core.node import NodeEvaluation, NodeModel
+from repro.sim.apu_sim import ApuSimConfig, ApuSimResult, ApuSimulator
 from repro.workloads.kernels import KernelProfile
+from repro.workloads.traces import MemoryTrace
 
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "SimCache",
     "default_cache",
+    "default_sim_cache",
     "evaluate_arrays_cached",
+    "simulate_trace_cached",
+    "fingerprint_trace",
+    "fingerprint_sim_config",
     "cache_stats",
     "clear_cache",
 ]
@@ -94,27 +108,89 @@ def fingerprint_array(value) -> str:
     return h.hexdigest()
 
 
-class EvalCache:
-    """Keyed memo fronting :meth:`NodeModel.evaluate_arrays`.
+def fingerprint_trace(trace: MemoryTrace) -> str:
+    """Value fingerprint of a synthetic memory trace (raw array bytes
+    plus the declared footprint)."""
+    h = hashlib.sha1()
+    for arr in (trace.addresses, trace.is_write, trace.flops_between):
+        arr = np.ascontiguousarray(arr)
+        h.update(str((arr.shape, arr.dtype.str)).encode())
+        h.update(arr.tobytes())
+    h.update(repr(float(trace.footprint_bytes)).encode())
+    return h.hexdigest()
+
+
+def fingerprint_sim_config(config: ApuSimConfig) -> str:
+    """Value fingerprint of one simulator configuration (frozen
+    dataclass of scalars, so its repr is a faithful value encoding)."""
+    return _digest(repr(config))
+
+
+class _KeyedMemo:
+    """Thread-safe LRU memo shared by the evaluation-layer caches.
+
+    Subclasses build their own keys and computations; this base owns the
+    entry table, the optional LRU bound, and the hit/miss/eviction
+    counters.
 
     Parameters
     ----------
     maxsize:
-        Optional LRU bound on cached evaluations; ``None`` (default)
-        keeps everything. The working set is one entry per distinct
-        (profile, grid, model) triple, which the full experiment suite
-        keeps in the dozens.
+        Optional LRU bound on cached values; ``None`` (default) keeps
+        everything.
     """
 
     def __init__(self, maxsize: int | None = None):
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive or None")
         self.maxsize = maxsize
-        self._entries: OrderedDict[tuple, NodeEvaluation] = OrderedDict()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+
+    def _get_or_compute(self, key: tuple, compute: Callable[[], object]):
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self._misses += 1
+        value = compute()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.maxsize is not None:
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return value
+
+    def stats(self) -> CacheStats:
+        """Hit/miss/entry counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+                evictions=self._evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+
+class EvalCache(_KeyedMemo):
+    """Keyed memo fronting :meth:`NodeModel.evaluate_arrays`.
+
+    The working set is one entry per distinct (profile, grid, model)
+    triple, which the full experiment suite keeps in the dozens.
+    """
 
     # ------------------------------------------------------------------
     def _key(
@@ -153,46 +229,17 @@ class EvalCache:
             model, profile, n_cus, freq, bandwidth, ext_fraction,
             extra_latency,
         )
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._hits += 1
-                self._entries.move_to_end(key)
-                return cached
-            self._misses += 1
-        evaluation = model.evaluate_arrays(
-            profile,
-            n_cus,
-            freq,
-            bandwidth,
-            ext_fraction=ext_fraction,
-            extra_latency=extra_latency,
+        return self._get_or_compute(
+            key,
+            lambda: model.evaluate_arrays(
+                profile,
+                n_cus,
+                freq,
+                bandwidth,
+                ext_fraction=ext_fraction,
+                extra_latency=extra_latency,
+            ),
         )
-        with self._lock:
-            self._entries[key] = evaluation
-            self._entries.move_to_end(key)
-            if self.maxsize is not None:
-                while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
-                    self._evictions += 1
-        return evaluation
-
-    # ------------------------------------------------------------------
-    def stats(self) -> CacheStats:
-        """Hit/miss/entry counters."""
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                entries=len(self._entries),
-                evictions=self._evictions,
-            )
-
-    def clear(self) -> None:
-        """Drop every entry and reset the counters."""
-        with self._lock:
-            self._entries.clear()
-            self._hits = self._misses = self._evictions = 0
 
     def invalidate(
         self,
@@ -256,6 +303,53 @@ def evaluate_arrays_cached(
         ext_fraction=ext_fraction,
         extra_latency=extra_latency,
     )
+
+
+class SimCache(_KeyedMemo):
+    """Keyed memo fronting :meth:`ApuSimulator.run`.
+
+    Key: ``(sim-config fingerprint, trace fingerprint, engine)``. Both
+    engines are cached independently — the oracle harness deliberately
+    runs the same (config, trace) pair through each engine, and the
+    entries must not alias.
+    """
+
+    def run(
+        self,
+        trace: MemoryTrace,
+        config: ApuSimConfig | None = None,
+        engine: str | None = None,
+    ) -> ApuSimResult:
+        """Cached equivalent of ``ApuSimulator(config, engine).run(trace)``."""
+        simulator = ApuSimulator(config, engine=engine or "array")
+        key = (
+            fingerprint_sim_config(simulator.config),
+            fingerprint_trace(trace),
+            simulator.engine,
+        )
+        return self._get_or_compute(key, lambda: simulator.run(trace))
+
+
+_default_sim_cache = SimCache()
+
+
+def default_sim_cache() -> SimCache:
+    """The process-wide shared simulation cache."""
+    return _default_sim_cache
+
+
+def simulate_trace_cached(
+    trace: MemoryTrace,
+    config: ApuSimConfig | None = None,
+    engine: str | None = None,
+    cache: SimCache | None = None,
+) -> ApuSimResult:
+    """Module-level convenience over :meth:`SimCache.run`.
+
+    ``cache=None`` uses the shared :func:`default_sim_cache`.
+    """
+    cache = cache if cache is not None else _default_sim_cache
+    return cache.run(trace, config=config, engine=engine)
 
 
 def cache_stats() -> CacheStats:

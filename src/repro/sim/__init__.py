@@ -10,19 +10,22 @@ synthetic memory trace through CU -> LLC -> (local or remote) DRAM
 hop latency so the Fig. 7 comparison can be cross-checked in simulation.
 """
 
-from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.engine import Event, EventQueue, Simulator, TupleEventHeap
 from repro.sim.cache_sim import CacheLevel, CacheSim
-from repro.sim.gpu_core import ComputeUnit, Wavefront
-from repro.sim.apu_sim import ApuSimConfig, ApuSimResult, ApuSimulator
+from repro.sim.gpu_core import ComputeUnit, Wavefront, mean_utilization
+from repro.sim.apu_sim import ENGINES, ApuSimConfig, ApuSimResult, ApuSimulator
 
 __all__ = [
     "Event",
     "EventQueue",
     "Simulator",
+    "TupleEventHeap",
     "CacheLevel",
     "CacheSim",
     "ComputeUnit",
     "Wavefront",
+    "mean_utilization",
+    "ENGINES",
     "ApuSimConfig",
     "ApuSimResult",
     "ApuSimulator",

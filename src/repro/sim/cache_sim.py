@@ -52,6 +52,18 @@ class CacheLevel:
         self._sets: dict[int, OrderedDict[int, None]] = {}
         self.stats = _LevelStats()
 
+    def index_columns(self, addresses) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (set index, tag) columns for a batch of addresses.
+
+        The integer arithmetic matches :meth:`access` element-for-element
+        (``line = address // line_bytes``, ``set = line % n_sets``,
+        ``tag = line // n_sets``), so array engines can precompute a
+        whole trace's cache geometry in three numpy ops and share the
+        exact lookup semantics of the scalar path.
+        """
+        line = np.asarray(addresses, dtype=np.int64) // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
     def access(self, address: int) -> bool:
         """Look up one address, allocating on miss; True on hit."""
         line = address // self.line_bytes

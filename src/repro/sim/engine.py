@@ -4,6 +4,12 @@ A classic event-queue kernel: events carry a timestamp and a callback;
 the simulator pops them in time order, callbacks schedule further
 events. Deterministic tie-breaking (insertion order) keeps runs
 reproducible.
+
+:class:`TupleEventHeap` is the data-oriented counterpart used by array
+fast paths (the vectorized APU engine): no callbacks, no
+:class:`Event` objects — just plain tuples whose leading elements *are*
+the (time, tie-break...) ordering key, so every heap comparison stays in
+C.
 """
 
 from __future__ import annotations
@@ -11,9 +17,42 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
-__all__ = ["Event", "EventQueue", "Simulator"]
+__all__ = ["Event", "EventQueue", "Simulator", "TupleEventHeap"]
+
+
+class TupleEventHeap:
+    """A min-heap of plain key tuples for array-style simulators.
+
+    Entries are ordered lexicographically by their own elements —
+    ``(time, tiebreak..., payload...)`` — which replaces the
+    ``(time, seq)`` ordering of :class:`EventQueue` without allocating an
+    :class:`Event` (or a closure) per entry. Mixed tuple lengths are
+    fine as long as any shared prefix stays comparable; heterogeneous
+    streams whose mutual order is irrelevant can share one heap.
+    """
+
+    __slots__ = ("heap",)
+
+    def __init__(self, initial: Iterable[tuple] | None = None):
+        self.heap: list[tuple] = list(initial) if initial is not None else []
+        if self.heap:
+            heapq.heapify(self.heap)
+
+    def push(self, entry: tuple) -> None:
+        """Insert one keyed entry."""
+        heapq.heappush(self.heap, entry)
+
+    def pop(self) -> tuple:
+        """Remove and return the smallest entry."""
+        return heapq.heappop(self.heap)
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def __bool__(self) -> bool:
+        return bool(self.heap)
 
 
 @dataclass(order=True)

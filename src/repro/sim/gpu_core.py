@@ -11,8 +11,25 @@ least one wavefront is in a compute burst.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-__all__ = ["Wavefront", "ComputeUnit"]
+import numpy as np
+
+__all__ = ["Wavefront", "ComputeUnit", "mean_utilization"]
+
+
+def mean_utilization(busy_times: Sequence[float], elapsed: float) -> float:
+    """Mean busy fraction over a set of CUs.
+
+    Shared by both simulator engines: because issue slots serialize, a
+    CU's busy time is exactly the sum of its granted burst windows, so
+    the array engine can aggregate from flat per-CU accumulators while
+    the event engine feeds :attr:`ComputeUnit.busy_time` — the arithmetic
+    (clamp, then mean) is identical either way.
+    """
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    return float(np.mean([min(1.0, busy / elapsed) for busy in busy_times]))
 
 
 @dataclass

@@ -10,6 +10,7 @@ heat map of the bottom-most DRAM die.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -67,11 +68,39 @@ class ThermalModel:
             ny=ny,
             stack=self.stack,
         )
+        # The floorplan and grid are fixed at construction, so the
+        # rasterized GPU/CPU masks are too; cache them on first use.
+        self._masks: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _region_mask(self, regions) -> np.ndarray:
         """Boolean (ny, nx) mask of cells whose centre is inside any of
-        *regions*."""
+        *regions*.
+
+        Vectorized rasterization: the cell-centre coordinate vectors are
+        computed with the same elementwise arithmetic as the reference
+        (``(i + 0.5) * dx_mm``), and each axis-aligned region becomes an
+        outer AND of two interval tests, so the result is bit-identical
+        to :meth:`_region_mask_reference`.
+        """
+        dx_mm = self.floorplan.width_mm / self.grid.nx
+        dy_mm = self.floorplan.depth_mm / self.grid.ny
+        x = (np.arange(self.grid.nx) + 0.5) * dx_mm
+        y = (np.arange(self.grid.ny) + 0.5) * dy_mm
+        mask = np.zeros((self.grid.ny, self.grid.nx), dtype=bool)
+        for r in regions:
+            # Region.contains: inclusive lower bound, exclusive upper.
+            in_x = (r.x0 <= x) & (x < r.x1)
+            in_y = (r.y0 <= y) & (y < r.y1)
+            mask |= in_y[:, None] & in_x[None, :]
+        return mask
+
+    def _region_mask_reference(self, regions) -> np.ndarray:
+        """Per-cell double loop (the original implementation).
+
+        Kept as the readable specification of the rasterization and as
+        the oracle the vectorized :meth:`_region_mask` is tested against.
+        """
         mask = np.zeros((self.grid.ny, self.grid.nx), dtype=bool)
         dx_mm = self.floorplan.width_mm / self.grid.nx
         dy_mm = self.floorplan.depth_mm / self.grid.ny
@@ -83,6 +112,14 @@ class ThermalModel:
                     mask[j, i] = True
         return mask
 
+    def _cached_mask(self, kind: str) -> np.ndarray:
+        mask = self._masks.get(kind)
+        if mask is None:
+            regions = getattr(self.floorplan, f"{kind}_regions")
+            mask = self._region_mask(regions)
+            self._masks[kind] = mask
+        return mask
+
     def build_power_maps(self, power: PowerBreakdown) -> np.ndarray:
         """Distribute a node power breakdown over the grid layers.
 
@@ -91,8 +128,8 @@ class ThermalModel:
         """
         shape = (self.stack.n_layers, self.grid.ny, self.grid.nx)
         maps = np.zeros(shape)
-        gpu_mask = self._region_mask(self.floorplan.gpu_regions)
-        cpu_mask = self._region_mask(self.floorplan.cpu_regions)
+        gpu_mask = self._cached_mask("gpu")
+        cpu_mask = self._cached_mask("cpu")
         if not gpu_mask.any() or not cpu_mask.any():
             raise RuntimeError("floorplan rasterized to empty masks")
 
@@ -111,12 +148,30 @@ class ThermalModel:
         maps[dram][gpu_mask] += dram_power / gpu_mask.sum()
         return maps
 
-    def analyze(self, power: PowerBreakdown) -> ThermalReport:
-        """Solve the package temperatures for one power breakdown."""
-        field = self.grid.solve(self.build_power_maps(power))
+    @staticmethod
+    def _report(field: TemperatureField) -> ThermalReport:
         return ThermalReport(
             field=field,
             peak_dram_c=field.peak("dram"),
             peak_compute_c=field.peak("compute"),
             mean_dram_c=field.mean("dram"),
         )
+
+    def analyze(self, power: PowerBreakdown) -> ThermalReport:
+        """Solve the package temperatures for one power breakdown."""
+        return self._report(self.grid.solve(self.build_power_maps(power)))
+
+    def analyze_many(
+        self, powers: Sequence[PowerBreakdown]
+    ) -> list[ThermalReport]:
+        """Solve a batch of power breakdowns against one factorization.
+
+        Equivalent to ``[self.analyze(p) for p in powers]`` but the
+        right-hand sides are back-substituted together through
+        :meth:`ThermalGrid.solve_many`, which is what the Fig. 10 sweep
+        (two solves per application) wants.
+        """
+        if not powers:
+            return []
+        batch = np.stack([self.build_power_maps(p) for p in powers])
+        return [self._report(f) for f in self.grid.solve_many(batch)]

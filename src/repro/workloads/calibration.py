@@ -34,17 +34,26 @@ from scipy.optimize import differential_evolution, minimize
 
 from repro.core.config import PAPER_BEST_MEAN, DesignSpace, EHPConfig
 from repro.core.node import NodeModel
+from repro.perf.evalcache import evaluate_arrays_cached, simulate_trace_cached
+from repro.sim.apu_sim import ApuSimConfig
 from repro.util.units import MHZ, TB
 from repro.workloads.kernels import KernelCategory, KernelProfile
+from repro.workloads.traces import MemoryTrace, TraceGenerator
 
 __all__ = [
     "PAPER_TABLE2",
     "CalibrationTarget",
     "FitReport",
+    "TraceCrosscheckRow",
+    "default_calibration_trace",
     "fit_profile",
     "fit_all",
     "joint_calibrate",
+    "trace_crosscheck",
 ]
+
+DEFAULT_TRACE_SEED = 42
+DEFAULT_TRACE_ACCESSES = 50_000
 
 # Free parameters, their profile field names, and search bounds.
 _PARAM_BOUNDS: tuple[tuple[str, float, float], ...] = (
@@ -473,6 +482,89 @@ def joint_calibrate(
             if candidate.config_matches or not reports[n].config_matches:
                 reports[n] = candidate
     return reports
+
+
+def default_calibration_trace(
+    name: str = "CoMD",
+    n_accesses: int = DEFAULT_TRACE_ACCESSES,
+    seed: int = DEFAULT_TRACE_SEED,
+) -> MemoryTrace:
+    """The reference trace shared by the perf gates and cross-checks.
+
+    One deterministic CoMD trace (the paper's headline memory-intensive
+    kernel) at a fixed seed, so the benchmark suite, the performance
+    gate and :func:`trace_crosscheck` all measure the same workload.
+    """
+    from repro.workloads.catalog import get_application
+
+    profile = get_application(name)
+    return TraceGenerator(profile, seed=seed).generate(n_accesses)
+
+
+@dataclass(frozen=True)
+class TraceCrosscheckRow:
+    """One application's simulator-vs-analytic comparison."""
+
+    name: str
+    sim_flops_per_cu: float
+    analytic_flops_per_cu: float
+    sim_dram_fraction: float
+
+    @property
+    def ratio(self) -> float:
+        """Simulated over analytic per-CU FLOP rate."""
+        if self.analytic_flops_per_cu <= 0:
+            return float("inf")
+        return self.sim_flops_per_cu / self.analytic_flops_per_cu
+
+
+def trace_crosscheck(
+    names: Sequence[str] | None = None,
+    sim_config: ApuSimConfig | None = None,
+    model: NodeModel | None = None,
+    n_accesses: int = 20_000,
+    seed: int = DEFAULT_TRACE_SEED,
+    engine: str | None = None,
+) -> list[TraceCrosscheckRow]:
+    """Cross-check the trace simulator against the analytic model.
+
+    For each application this replays a synthetic trace with the
+    profile's locality statistics through the scaled APU simulator and
+    compares its achieved per-CU FLOP rate with the analytic model's
+    prediction at the paper's best-mean configuration — the Section VI
+    role the paper gives gem5. Both sides are normalized per CU because
+    the simulator runs a scaled-down EHP.
+
+    Both hot calls route through the shared fingerprint caches
+    (:func:`repro.perf.evalcache.simulate_trace_cached` and
+    :func:`repro.perf.evalcache.evaluate_arrays_cached`), so repeated
+    sweeps — e.g. over engines, or from several drivers — never
+    recompute a (config, trace) pair.
+    """
+    from repro.workloads.catalog import APPLICATIONS, get_application
+
+    model = model or NodeModel()
+    sim_config = sim_config or ApuSimConfig()
+    best = PAPER_BEST_MEAN
+    rows = []
+    for name in list(names) if names is not None else list(APPLICATIONS):
+        profile = get_application(name)
+        trace = TraceGenerator(profile, seed=seed).generate(n_accesses)
+        sim = simulate_trace_cached(trace, sim_config, engine=engine)
+        ev = evaluate_arrays_cached(
+            model, profile, best.n_cus, best.gpu_freq, best.bandwidth
+        )
+        rows.append(
+            TraceCrosscheckRow(
+                name=name,
+                sim_flops_per_cu=sim.flops_rate / sim_config.n_cus,
+                analytic_flops_per_cu=(
+                    float(np.asarray(ev.performance)) / best.n_cus
+                ),
+                sim_dram_fraction=sim.dram_fraction,
+            )
+        )
+    return rows
 
 
 def _print_report(name: str, report: FitReport) -> None:

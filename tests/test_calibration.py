@@ -7,9 +7,12 @@ from repro.core.config import DesignSpace, EHPConfig
 from repro.core.node import NodeModel
 from repro.util.units import MHZ, TB
 from repro.workloads.calibration import (
+    DEFAULT_TRACE_SEED,
     PAPER_TABLE2,
     CalibrationTarget,
     _Objective,
+    default_calibration_trace,
+    trace_crosscheck,
 )
 from repro.workloads.catalog import APPLICATIONS, get_application
 
@@ -83,6 +86,60 @@ class TestObjective:
         )
         assert obj.target_index not in obj.caps
         assert 0 in obj.caps
+
+
+class TestTraceCrosscheck:
+    def test_default_trace_deterministic(self):
+        a = default_calibration_trace(n_accesses=500)
+        b = default_calibration_trace(n_accesses=500)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.flops_between, b.flops_between)
+        assert len(a) == 500
+        assert DEFAULT_TRACE_SEED == 42
+
+    def test_rows_cover_requested_apps(self):
+        from repro.perf.evalcache import SimCache
+
+        rows = trace_crosscheck(names=["CoMD", "MaxFlops"], n_accesses=2000)
+        assert [r.name for r in rows] == ["CoMD", "MaxFlops"]
+        for r in rows:
+            assert r.sim_flops_per_cu > 0
+            assert r.analytic_flops_per_cu > 0
+            assert 0.0 <= r.sim_dram_fraction <= 1.0
+            assert r.ratio == (
+                r.sim_flops_per_cu / r.analytic_flops_per_cu
+            )
+
+    def test_compute_kernel_agrees_best(self):
+        # Per-CU normalization makes the two substrates comparable: the
+        # compute-bound kernel (no memory abstraction in play) must land
+        # far closer to the analytic prediction than the memory-bound
+        # extreme trace does.
+        rows = {
+            r.name: r
+            for r in trace_crosscheck(
+                names=["MaxFlops", "SNAP"], n_accesses=4000
+            )
+        }
+        assert abs(rows["MaxFlops"].ratio - 1.0) < 0.25
+        assert rows["MaxFlops"].ratio > rows["SNAP"].ratio
+
+    def test_engines_give_same_rows(self):
+        a = trace_crosscheck(names=["CoMD"], n_accesses=1500)
+        e = trace_crosscheck(names=["CoMD"], n_accesses=1500, engine="event")
+        assert a[0].sim_flops_per_cu == pytest.approx(
+            e[0].sim_flops_per_cu, rel=1e-9
+        )
+        assert a[0].sim_dram_fraction == e[0].sim_dram_fraction
+
+    def test_repeat_sweep_hits_sim_cache(self):
+        from repro.perf.evalcache import default_sim_cache
+
+        trace_crosscheck(names=["LULESH"], n_accesses=1000)
+        before = default_sim_cache().stats()
+        trace_crosscheck(names=["LULESH"], n_accesses=1000)
+        after = default_sim_cache().stats()
+        assert after.hits == before.hits + 1
 
 
 class TestAllCalibratedProfiles:

@@ -203,6 +203,27 @@ class TestFig10Fig11Thermal:
         result = run_fig11()
         assert set(result.data) == {"best-mean", "best-per-app"}
 
+    def test_shared_model_matches_private_model(self):
+        # The drivers default to the process-wide shared ThermalModel
+        # (one factorization, batched back-substitution); a fresh
+        # per-driver model must render the identical Fig. 10 table.
+        from repro.experiments.thermal_eval import shared_thermal_model
+        from repro.thermal.analysis import ThermalModel
+
+        shared = run_fig10(thermal=shared_thermal_model())
+        private = run_fig10(thermal=ThermalModel())
+        assert shared.rendered == private.rendered
+        assert shared.data == private.data
+
+    def test_shared_model_is_singleton(self):
+        from repro.experiments.thermal_eval import shared_thermal_model
+
+        model = shared_thermal_model()
+        assert shared_thermal_model() is model
+        # After one driver run the factorization is warm for the next.
+        run_fig10()
+        assert model.grid.factorization_cached
+
 
 class TestFig12Fig13Optimizations:
     def test_paper_average_savings(self, fig12):

@@ -9,15 +9,24 @@ from scipy.sparse.linalg import spsolve
 from repro.core.dse import explore
 from repro.core.node import NodeModel
 from repro.noc.simulator import NocSimulator, SimMessage
-from repro.perf.evalcache import EvalCache, evaluate_arrays_cached
+from repro.perf.evalcache import (
+    EvalCache,
+    SimCache,
+    evaluate_arrays_cached,
+    fingerprint_sim_config,
+    fingerprint_trace,
+    simulate_trace_cached,
+)
 from repro.perf.parallel import (
     parallel_explore,
     run_all_experiments,
     run_experiments,
 )
 from repro.power.components import PowerParams
+from repro.sim.apu_sim import ApuSimConfig, ApuSimulator
 from repro.thermal.grid import ThermalGrid
 from repro.workloads.catalog import get_application
+from repro.workloads.traces import TraceGenerator
 
 
 class TestVectorizedAssembly:
@@ -175,6 +184,73 @@ class TestEvalCache:
         assert np.array_equal(
             np.asarray(direct.node_power), np.asarray(cached.node_power)
         )
+
+
+class TestSimCache:
+    def _trace(self, seed=42, n=1500):
+        return TraceGenerator(get_application("CoMD"), seed=seed).generate(n)
+
+    def test_hit_returns_memoized_result(self):
+        cache = SimCache()
+        trace = self._trace()
+        r1 = cache.run(trace)
+        r2 = cache.run(trace)
+        assert r2 is r1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_engines_cached_independently(self):
+        cache = SimCache()
+        trace = self._trace()
+        array = cache.run(trace, engine="array")
+        event = cache.run(trace, engine="event")
+        assert array is not event
+        assert cache.stats().misses == 2
+        # Same (config, trace) through each engine again: both hit.
+        assert cache.run(trace, engine="array") is array
+        assert cache.run(trace, engine="event") is event
+        assert cache.stats().hits == 2
+
+    def test_config_fingerprint_differentiates(self):
+        cache = SimCache()
+        trace = self._trace()
+        cache.run(trace, ApuSimConfig(n_cus=4))
+        cache.run(trace, ApuSimConfig(n_cus=8))
+        assert cache.stats().misses == 2
+
+    def test_trace_fingerprint_differentiates(self):
+        cache = SimCache()
+        cache.run(self._trace(seed=1))
+        cache.run(self._trace(seed=2))
+        assert cache.stats().misses == 2
+        # An equal-valued regenerated trace hits: keys are value digests.
+        cache.run(self._trace(seed=1))
+        assert cache.stats().hits == 1
+
+    def test_fingerprint_functions_are_value_digests(self):
+        assert fingerprint_trace(self._trace()) == fingerprint_trace(
+            self._trace()
+        )
+        assert fingerprint_sim_config(ApuSimConfig()) == (
+            fingerprint_sim_config(ApuSimConfig())
+        )
+        assert fingerprint_sim_config(ApuSimConfig()) != (
+            fingerprint_sim_config(ApuSimConfig(n_cus=4))
+        )
+
+    def test_cached_helper_matches_direct(self):
+        trace = self._trace()
+        config = ApuSimConfig(n_cus=4)
+        direct = ApuSimulator(config).run(trace)
+        cached = simulate_trace_cached(trace, config, cache=SimCache())
+        assert cached == direct
+
+    def test_lru_bound(self):
+        cache = SimCache(maxsize=1)
+        cache.run(self._trace(seed=1, n=200))
+        cache.run(self._trace(seed=2, n=200))
+        stats = cache.stats()
+        assert stats.entries == 1 and stats.evictions == 1
 
 
 class TestParallelRunner:

@@ -18,7 +18,10 @@ from repro.perfmodel.roofline import evaluate_kernel
 from repro.power.components import PowerParams
 from repro.ras.checkpoint import CheckpointModel
 from repro.ras.ecc import ecc_overhead_bits
+from repro.sim.apu_sim import ApuSimConfig, ApuSimulator
+from repro.sim.cache_sim import CacheLevel, CacheSim
 from repro.workloads.kernels import KernelCategory, KernelProfile
+from repro.workloads.traces import MemoryTrace
 
 cus = st.sampled_from([192, 224, 256, 288, 320, 352, 384])
 freqs = st.floats(min_value=0.7e9, max_value=1.5e9)
@@ -186,3 +189,126 @@ class TestSubstrateContracts:
                 EHPConfig(n_cus=n)
         else:
             assert EHPConfig(n_cus=n).cus_per_chiplet == n // 8
+
+
+def _small_hierarchy() -> CacheSim:
+    return CacheSim(
+        [
+            CacheLevel("L1", 8 * 1024, 64, 4),
+            CacheLevel("LLC", 64 * 1024, 64, 8),
+        ]
+    )
+
+
+def _trace_from(addresses, flops) -> MemoryTrace:
+    addresses = np.asarray(addresses, dtype=np.int64) * 64
+    return MemoryTrace(
+        addresses=addresses,
+        is_write=np.zeros(len(addresses), dtype=bool),
+        flops_between=np.asarray(flops, dtype=float),
+        footprint_bytes=float(addresses.max() + 64),
+    )
+
+
+class TestSimulatorInvariants:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cache_hit_rates_bounded_and_conserved(self, lines):
+        sim = _small_hierarchy()
+        stats = sim.run_trace(np.asarray(lines, dtype=np.int64) * 64)
+        for rate in stats.values():
+            assert 0.0 <= rate <= 1.0
+        l1, llc = sim.levels
+        # Inclusive hierarchy: every L1 miss reaches the LLC, every LLC
+        # miss reaches DRAM.
+        assert l1.stats.accesses == len(lines)
+        assert llc.stats.accesses == l1.stats.misses
+        assert sim.dram_accesses == llc.stats.misses
+
+    @given(
+        st.integers(min_value=1, max_value=600),
+        st.integers(min_value=1, max_value=1200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dram_fraction_monotone_in_working_set(self, w1, delta):
+        # Cyclic sweeps over a working set of W lines: under LRU a larger
+        # working set can only miss more (W/n compulsory misses while the
+        # set fits, every access once it thrashes).
+        w2 = w1 + delta
+        n = 2400
+        fractions = []
+        for w in (w1, w2):
+            sim = _small_hierarchy()
+            addrs = (np.arange(n, dtype=np.int64) % w) * 64
+            fractions.append(sim.run_trace(addrs)["dram_fraction"])
+        assert fractions[1] >= fractions[0] - 1e-12
+
+    @given(
+        st.data(),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_flops_rate_bounded_by_peak(self, data, n_cus, wpc):
+        n = data.draw(st.integers(min_value=1, max_value=120))
+        lines = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1 << 16),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        flops = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e6),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        config = ApuSimConfig(n_cus=n_cus, wavefronts_per_cu=wpc)
+        res = ApuSimulator(config).run(_trace_from(lines, flops))
+        peak = config.n_cus * config.flops_per_cu_cycle * config.freq_hz
+        assert res.flops_rate <= peak * (1.0 + 1e-9)
+        assert 0.0 <= res.cu_utilization <= 1.0
+        assert 0.0 <= res.dram_fraction <= 1.0
+        for rate in res.hit_rates.values():
+            assert 0.0 <= rate <= 1.0
+        assert res.mean_memory_latency >= config.l1_latency - 1e-18
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_engines_agree_on_random_traces(self, data):
+        # Randomized counterpart of tests/test_sim_oracle.py: both
+        # engines agree on arbitrary (not generator-shaped) traces.
+        n = data.draw(st.integers(min_value=1, max_value=80))
+        lines = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1 << 12),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        flops = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e5),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        trace = _trace_from(lines, flops)
+        sim = ApuSimulator(ApuSimConfig(n_cus=2, wavefronts_per_cu=3))
+        a = sim.run(trace)
+        e = sim.run(trace, engine="event")
+        assert a.elapsed == pytest.approx(e.elapsed, rel=1e-9)
+        assert a.total_flops == pytest.approx(e.total_flops, rel=1e-9)
+        assert a.dram_accesses == e.dram_accesses
+        assert a.mean_memory_latency == pytest.approx(
+            e.mean_memory_latency, rel=1e-9
+        )
+        assert a.hit_rates == e.hit_rates

@@ -122,6 +122,69 @@ class TestThermalGrid:
             grid.solve(maps)
 
 
+class TestRegionMaskVectorization:
+    @pytest.fixture(scope="class")
+    def thermal(self):
+        return ThermalModel(nx=33, ny=11)
+
+    def test_matches_reference_exactly(self, thermal):
+        # The meshgrid rasterization must agree bit-for-bit with the
+        # per-cell double loop it replaced.
+        for regions in (
+            thermal.floorplan.gpu_regions,
+            thermal.floorplan.cpu_regions,
+            list(thermal.floorplan.iter_regions()),
+        ):
+            fast = thermal._region_mask(regions)
+            slow = thermal._region_mask_reference(regions)
+            assert fast.dtype == slow.dtype == np.bool_
+            assert np.array_equal(fast, slow)
+
+    def test_matches_reference_on_odd_grids(self):
+        # Resolutions that do not divide the package evenly put cell
+        # centres near region edges; the half-open containment test must
+        # still agree.
+        for nx, ny in ((7, 5), (13, 9), (66, 22), (65, 21)):
+            tm = ThermalModel(nx=nx, ny=ny)
+            regions = list(tm.floorplan.iter_regions())
+            assert np.array_equal(
+                tm._region_mask(regions),
+                tm._region_mask_reference(regions),
+            )
+
+    def test_empty_region_list(self, thermal):
+        assert not thermal._region_mask([]).any()
+
+    def test_masks_cached_per_instance(self, thermal):
+        first = thermal._cached_mask("gpu")
+        assert thermal._cached_mask("gpu") is first
+        assert first.any()
+
+
+class TestAnalyzeMany:
+    def test_matches_sequential_analyze(self):
+        thermal = ThermalModel(nx=33, ny=11)
+        model = NodeModel()
+        powers = []
+        for name in ("MaxFlops", "SNAP", "CoMD"):
+            p = get_application(name)
+            ev = model.evaluate(
+                p, PAPER_BEST_MEAN, ext_fraction=p.ext_memory_fraction
+            )
+            powers.append(ev.power)
+        batched = thermal.analyze_many(powers)
+        for report, power in zip(batched, powers):
+            single = thermal.analyze(power)
+            assert np.array_equal(
+                report.field.celsius, single.field.celsius
+            )
+            assert report.peak_dram_c == single.peak_dram_c
+            assert report.mean_dram_c == single.mean_dram_c
+
+    def test_empty_batch(self):
+        assert ThermalModel(nx=33, ny=11).analyze_many([]) == []
+
+
 class TestThermalModelAnalysis:
     @pytest.fixture(scope="class")
     def thermal(self):

@@ -11,6 +11,11 @@ replicated below) and asserts the speedup ratios the layer promises:
 * a 100k-message NoC run >= 5x over the seed hot loop,
 * the APU simulator's array engine >= 5x over the event-driven oracle
   on the default calibration trace,
+* the memsys array engines (row buffer + DRAM-cache capacity sweep +
+  page-migration epochs) >= 5x combined over the scalar oracles on the
+  50k-address miss-sensitivity stream,
+* a warm MemsysCache replay of that same sweep >= 5x over the cold run
+  (the ROADMAP's cold-vs-warm evaluation-cache ratio),
 
 plus numerical agreement (1e-9) between fast and reference paths.
 
@@ -36,8 +41,12 @@ import time
 import numpy as np
 from scipy.sparse.linalg import spsolve
 
+from repro.memsys.dramcache import DramCache
+from repro.memsys.manager import HotnessMigrationPolicy, MemoryManager
+from repro.memsys.rowbuffer import RowBufferSim
 from repro.noc.routing import route
 from repro.noc.simulator import LinkStats, NocSimulator, SimMessage
+from repro.perf.evalcache import MemsysCache
 from repro.sim.apu_sim import ApuSimulator
 from repro.thermal.grid import ThermalGrid
 from repro.workloads.calibration import default_calibration_trace
@@ -213,6 +222,105 @@ def check_apu_sim(quick: bool) -> list[str]:
     return failures
 
 
+_MEMSYS_CAPACITY_FRACTIONS = (0.02, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def _memsys_sweep_params(quick: bool):
+    n = 10_000 if quick else 50_000
+    trace = default_calibration_trace(n_accesses=n)
+    capacities = [
+        max(4096.0 * 8, fraction * trace.footprint_bytes)
+        for fraction in _MEMSYS_CAPACITY_FRACTIONS
+    ]
+    # Manager capacity at 20% of the stream's unique pages: the
+    # migration machinery runs under eviction pressure, as the low end
+    # of the experiments' capacity sweep does.
+    unique_pages = int(np.unique(trace.addresses // 4096).size)
+    manager_capacity = max(4096.0, unique_pages // 5 * 4096.0)
+    return n, trace, capacities, manager_capacity
+
+
+def check_memsys(quick: bool) -> list[str]:
+    from dataclasses import astuple
+
+    n, trace, capacities, manager_capacity = _memsys_sweep_params(quick)
+    addrs, writes = trace.addresses, trace.is_write
+    epochs = np.array_split(addrs, 4)
+
+    def replay(engine: str):
+        rb = RowBufferSim(engine=engine)
+        rb.run(addrs)
+        dram = []
+        for capacity in capacities:
+            cache = DramCache(capacity, 4096, 8, engine=engine)
+            cache.run_trace(addrs, writes)
+            dram.append(astuple(cache.stats))
+        manager = MemoryManager(
+            manager_capacity, HotnessMigrationPolicy(), 4096, engine=engine
+        )
+        fractions = manager.run_batch(epochs)
+        return astuple(rb.stats), dram, fractions
+
+    array_out = replay("array")
+    event_out = replay("event")
+    identical = (
+        array_out[0] == event_out[0]
+        and array_out[1] == event_out[1]
+        and all(
+            abs(a - e) <= 1e-9 * max(abs(e), 1e-300)
+            for a, e in zip(array_out[2], event_out[2])
+        )
+    )
+
+    t_array = _best_of(lambda: replay("array"), 3)
+    t_event = _best_of(lambda: replay("event"), 1)  # scalar manager is slow
+    ratio = t_event / t_array
+    print(f"memsys {n // 1000}k addresses (row buffer + "
+          f"{len(capacities)}-capacity DRAM-cache sweep + 4 migration "
+          f"epochs): array {t_array * 1e3:.0f} ms vs event "
+          f"{t_event * 1e3:.0f} ms -> {ratio:.1f}x "
+          f"(outputs identical: {identical})")
+
+    failures = []
+    if not identical:
+        failures.append("memsys array engines diverged from the oracles")
+    if ratio < 5.0:
+        failures.append(f"memsys array-engine speedup {ratio:.1f}x < 5x")
+    return failures
+
+
+def check_memsys_cache(quick: bool) -> list[str]:
+    n, trace, capacities, manager_capacity = _memsys_sweep_params(quick)
+    addrs, writes = trace.addresses, trace.is_write
+
+    def sweep(cache: MemsysCache):
+        cache.rowbuffer_stats(addrs)
+        for capacity in capacities:
+            cache.dram_stats(addrs, writes, capacity_bytes=capacity)
+        cache.manager_fractions(
+            addrs, n_epochs=4, capacity_bytes=manager_capacity
+        )
+
+    cache = MemsysCache()
+    t_cold = _best_of(lambda: sweep(cache), 1)  # first run computes
+    t_warm = _best_of(lambda: sweep(cache), 3)  # later runs only look up
+    ratio = t_cold / t_warm
+    stats = cache.stats()
+    print(f"memsys cache {n // 1000}k addresses: cold {t_cold * 1e3:.0f} ms "
+          f"vs warm {t_warm * 1e3:.1f} ms -> {ratio:.1f}x "
+          f"(hits {stats.hits}, misses {stats.misses})")
+
+    failures = []
+    if stats.misses != len(capacities) + 2:
+        failures.append(
+            f"memsys cache recomputed warm entries "
+            f"({stats.misses} misses for {len(capacities) + 2} keys)"
+        )
+    if ratio < 5.0:
+        failures.append(f"memsys cold-vs-warm ratio {ratio:.1f}x < 5x")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -226,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         check_thermal(args.quick)
         + check_noc(args.quick)
         + check_apu_sim(args.quick)
+        + check_memsys(args.quick)
+        + check_memsys_cache(args.quick)
     )
     if failures:
         print("\nPERF REGRESSION:")

@@ -10,8 +10,11 @@ assertions against the seed implementations live in
 
 import numpy as np
 
+from repro.memsys.dramcache import DramCache
+from repro.memsys.manager import HotnessMigrationPolicy, MemoryManager
+from repro.memsys.rowbuffer import RowBufferSim
 from repro.noc.simulator import NocSimulator, SimMessage
-from repro.perf.evalcache import EvalCache
+from repro.perf.evalcache import EvalCache, MemsysCache
 from repro.perf.parallel import run_all_experiments
 from repro.sim.apu_sim import ApuSimulator
 from repro.thermal.grid import ThermalGrid
@@ -85,6 +88,72 @@ def test_bench_apu_sim_batch(benchmark):
     ]
     sim = ApuSimulator()
     benchmark.pedantic(sim.run_batch, args=(traces,), rounds=2, iterations=1)
+
+
+def _memsys_replay_params(n_accesses):
+    trace = default_calibration_trace(n_accesses=n_accesses)
+    footprint = trace.footprint_bytes
+    capacities = [
+        max(4096.0 * 8, f * footprint)
+        for f in (0.02, 0.05, 0.1, 0.25, 0.5, 1.0)
+    ]
+    unique_pages = int(np.unique(trace.addresses // 4096).size)
+    manager_capacity = max(4096.0, unique_pages // 5 * 4096.0)
+    return trace, capacities, manager_capacity
+
+
+def _memsys_replay(trace, capacities, manager_capacity, engine):
+    addrs, writes = trace.addresses, trace.is_write
+    RowBufferSim(engine=engine).run(addrs)
+    for capacity in capacities:
+        DramCache(capacity, 4096, 8, engine=engine).run_trace(addrs, writes)
+    manager = MemoryManager(
+        manager_capacity, HotnessMigrationPolicy(), 4096, engine=engine
+    )
+    manager.run_batch(np.array_split(addrs, 4))
+
+
+def test_bench_memsys_array_50k(benchmark):
+    """Array-engine memsys replay of the 50k-address calibration trace
+    (row buffer + 6-capacity DRAM-cache sweep + 4 migration epochs)."""
+    trace, capacities, manager_capacity = _memsys_replay_params(50_000)
+    benchmark.pedantic(
+        _memsys_replay,
+        args=(trace, capacities, manager_capacity, "array"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_memsys_event_10k(benchmark):
+    """Event-engine oracle on a 10k-address replay (tracks the ratio;
+    the scalar manager is quadratic under eviction pressure, so the
+    full 50k stream is left to check_perf's one-shot timing)."""
+    trace, capacities, manager_capacity = _memsys_replay_params(10_000)
+    benchmark.pedantic(
+        _memsys_replay,
+        args=(trace, capacities, manager_capacity, "event"),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_bench_memsys_cache_warm(benchmark):
+    """Warm MemsysCache sweep (row buffer, DRAM capacities, manager)."""
+    trace, capacities, manager_capacity = _memsys_replay_params(50_000)
+    addrs, writes = trace.addresses, trace.is_write
+    cache = MemsysCache()
+
+    def sweep():
+        cache.rowbuffer_stats(addrs)
+        for capacity in capacities:
+            cache.dram_stats(addrs, writes, capacity_bytes=capacity)
+        cache.manager_fractions(
+            addrs, n_epochs=4, capacity_bytes=manager_capacity
+        )
+
+    sweep()  # populate outside the timed region
+    benchmark(sweep)
 
 
 def test_bench_eval_cache_warm(benchmark):

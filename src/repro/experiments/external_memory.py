@@ -9,6 +9,15 @@ traffic share (Section V-B's 46-89% range), so execution self-throttles
 on the external links and the network is charged for the traffic it
 actually carries. :func:`fig9_power` offers the alternative
 nominal-rate charging convention for sensitivity studies.
+
+:func:`run_fig9_managed` replaces the static per-profile off-package
+share with one *measured* from the software page-migration machinery:
+each application's synthetic trace is split into epochs and driven
+through :class:`~repro.memsys.manager.MemoryManager` (``engine="array"``
+by default, scalar ``"event"`` oracle selectable), and the converged
+in-package fraction sets the external traffic share the power model is
+charged for. Replays route through the shared
+:class:`~repro.perf.evalcache.MemsysCache`.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import numpy as np
 from repro.core.config import PAPER_BEST_MEAN, EHPConfig
 from repro.core.node import NodeModel
 from repro.experiments.runner import ExperimentResult, all_profiles
+from repro.perf.evalcache import MemsysCache, default_memsys_cache
 from repro.power.breakdown import (
     ExternalMemoryConfig,
     PowerBreakdown,
@@ -26,8 +36,14 @@ from repro.power.breakdown import (
 )
 from repro.util.tables import TextTable
 from repro.workloads.kernels import KernelProfile
+from repro.workloads.traces import TraceGenerator
 
-__all__ = ["run_fig9", "fig9_power"]
+__all__ = [
+    "run_fig9",
+    "fig9_power",
+    "run_fig9_managed",
+    "measured_inpackage_fraction",
+]
 
 _CATEGORIES = (
     "SerDes (S)",
@@ -125,5 +141,103 @@ def run_fig9(model: NodeModel | None = None) -> ExperimentResult:
         notes=(
             "watts; (S)=static, (D)=dynamic; external charged at each "
             "application's measured off-package traffic share"
+        ),
+    )
+
+
+def measured_inpackage_fraction(
+    profile: KernelProfile,
+    *,
+    capacity_fraction: float = 0.25,
+    n_epochs: int = 4,
+    n_accesses: int = 50_000,
+    seed: int = 42,
+    page_size: int = 4096,
+    policy: str = "hotness",
+    engine: str = "array",
+    cache: MemsysCache | None = None,
+) -> float:
+    """In-package service fraction the page-migration manager converges
+    to on the profile's synthetic trace (the last epoch's fraction),
+    with in-package capacity set to *capacity_fraction* of the trace
+    footprint."""
+    if not 0.0 < capacity_fraction:
+        raise ValueError("capacity_fraction must be positive")
+    trace = TraceGenerator(profile, seed=seed).generate(n_accesses)
+    cache = cache if cache is not None else default_memsys_cache()
+    capacity = max(float(page_size), capacity_fraction * trace.footprint_bytes)
+    fractions = cache.manager_fractions(
+        trace.addresses,
+        n_epochs=n_epochs,
+        capacity_bytes=capacity,
+        page_size=page_size,
+        policy=policy,
+        engine=engine,
+    )
+    return float(fractions[-1])
+
+
+def run_fig9_managed(
+    model: NodeModel | None = None,
+    *,
+    capacity_fraction: float = 0.25,
+    engine: str = "array",
+    cache: MemsysCache | None = None,
+) -> ExperimentResult:
+    """Fig. 9 with the off-package share measured by the page manager.
+
+    Same stacked power categories as :func:`run_fig9`, but each
+    application's external-traffic fraction is ``1 - f`` where ``f`` is
+    the in-package fraction the hotness-migration manager achieves on
+    the application's trace — grounding the power split in simulated
+    placement behaviour instead of the static profile constant.
+    """
+    base_model = model or NodeModel()
+    configs = {
+        "3D DRAM only": ExternalMemoryConfig.dram_only(),
+        "3D DRAM + NVM": ExternalMemoryConfig.hybrid(),
+    }
+    cfg = PAPER_BEST_MEAN
+    table = TextTable(
+        ["Ext config", "Application", "Ext frac"]
+        + list(_CATEGORIES)
+        + ["Total"]
+    )
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for ext_name, ext_config in configs.items():
+        data[ext_name] = {}
+        m = base_model.with_ext_config(ext_config)
+        for profile in all_profiles():
+            in_pkg = measured_inpackage_fraction(
+                profile,
+                capacity_fraction=capacity_fraction,
+                engine=engine,
+                cache=cache,
+            )
+            ext_fraction = 1.0 - in_pkg
+            power = m.evaluate(
+                profile, cfg, ext_fraction=ext_fraction
+            ).power
+            cats = {k: float(v) for k, v in power.fig9_categories().items()}
+            total = float(power.total)
+            table.add_row(
+                [ext_name, profile.name, ext_fraction]
+                + [cats[c] for c in _CATEGORIES]
+                + [total]
+            )
+            cats["Total"] = total
+            cats["Ext frac"] = ext_fraction
+            data[ext_name][profile.name] = cats
+    return ExperimentResult(
+        experiment_id="fig9-managed",
+        title=(
+            "ENA power with off-package share measured by the page "
+            "manager"
+        ),
+        rendered=table.render(),
+        data=data,
+        notes=(
+            "watts; external traffic share = 1 - converged in-package "
+            "fraction from the hotness-migration replay"
         ),
     )

@@ -20,9 +20,9 @@ from repro.experiments.ablations import (
 from repro.experiments.chiplet_traffic import run_fig7
 from repro.experiments.dse_summary import run_dse_summary
 from repro.experiments.exascale_target import run_fig14
-from repro.experiments.external_memory import run_fig9
+from repro.experiments.external_memory import run_fig9, run_fig9_managed
 from repro.experiments.kernel_sweeps import run_fig4, run_fig5, run_fig6
-from repro.experiments.miss_sensitivity import run_fig8
+from repro.experiments.miss_sensitivity import run_fig8, run_fig8_measured
 from repro.experiments.power_opts import run_fig12, run_fig13
 from repro.experiments.reconfiguration import run_table2
 from repro.experiments.runner import ExperimentResult
@@ -44,7 +44,9 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": run_fig8,
+    "fig8-measured": run_fig8_measured,
     "fig9": run_fig9,
+    "fig9-managed": run_fig9_managed,
     "fig10": run_fig10,
     "fig11": run_fig11,
     "fig12": run_fig12,

@@ -10,16 +10,38 @@ alone get a transparent performance uplift.
 The model is a set-associative cache with cache-line-grain sectors and
 page-grain allocation, tracked with simple LRU, sized for functional
 behaviour studies rather than cycle accuracy.
+
+Two interchangeable engines stream a trace through the cache:
+
+``engine="event"``
+    The original one-address-at-a-time loop over
+    :meth:`DramCache.access`, kept verbatim as the readable
+    specification and test oracle.
+
+``engine="array"`` (default, via :meth:`DramCache.access_many`)
+    Set and tag indices are resolved for the whole stream as flat numpy
+    columns, each access's home set is pre-bound into a list (one list
+    index in the hot loop instead of two dict lookups), and the LRU
+    state is replayed per set over the same insertion-ordered dicts the
+    scalar path mutates — so the two engines share state and are
+    bit-identical, while the per-access cost drops from a method call
+    plus scalar address arithmetic to a single sentinel ``dict.pop``
+    plus reinsert on local variables.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DramCacheStats", "DramCache"]
+__all__ = ["DramCacheStats", "DramCache", "ENGINES"]
+
+ENGINES = ("array", "event")
+"""Valid values for the ``engine`` selector (the first is the default)."""
+
+_MISS = object()
+"""Sentinel distinguishing a miss from a cached ``False`` dirty bit."""
 
 
 @dataclass
@@ -56,6 +78,10 @@ class DramCache:
         page granularity — page-grain keeps tag overheads negligible.
     associativity:
         Ways per set.
+    engine:
+        Default execution engine for :meth:`run_trace`, ``"array"``
+        (batched fast path) or ``"event"`` (the scalar oracle). Either
+        can be overridden per call.
     """
 
     def __init__(
@@ -63,6 +89,7 @@ class DramCache:
         capacity_bytes: float = 256.0e9,
         page_bytes: int = 4096,
         associativity: int = 8,
+        engine: str = "array",
     ):
         if capacity_bytes <= 0 or page_bytes <= 0 or associativity <= 0:
             raise ValueError("cache geometry must be positive")
@@ -72,9 +99,19 @@ class DramCache:
         self.page_bytes = page_bytes
         self.associativity = associativity
         self.n_sets = n_frames // associativity
-        # set index -> OrderedDict of tag -> dirty flag (LRU order).
-        self._sets: dict[int, OrderedDict[int, bool]] = {}
+        self.engine = self._check_engine(engine)
+        # set index -> insertion-ordered dict of tag -> dirty flag; the
+        # first key is always the LRU way (pop + reinsert on every hit).
+        self._sets: dict[int, dict[int, bool]] = {}
         self.stats = DramCacheStats()
+
+    @staticmethod
+    def _check_engine(engine: str) -> str:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        return engine
 
     def _locate(self, address: int) -> tuple[int, int]:
         page = address // self.page_bytes
@@ -89,30 +126,97 @@ class DramCache:
         if address < 0:
             raise ValueError("address must be non-negative")
         set_index, tag = self._locate(address)
-        ways = self._sets.setdefault(set_index, OrderedDict())
+        ways = self._sets.setdefault(set_index, {})
         if tag in ways:
-            ways.move_to_end(tag)
-            ways[tag] = ways[tag] or is_write
+            # Pop + reinsert moves the way to the MRU (last) position
+            # while accumulating the dirty bit.
+            ways[tag] = ways.pop(tag) or is_write
             self.stats.hits += 1
             return True
         self.stats.misses += 1
         if len(ways) >= self.associativity:
-            _, dirty = ways.popitem(last=False)
+            dirty = ways.pop(next(iter(ways)))
             self.stats.evictions += 1
             if dirty:
                 self.stats.writebacks += 1
         ways[tag] = is_write
         return False
 
-    def run_trace(self, addresses, writes=None) -> DramCacheStats:
-        """Stream a whole trace; returns the cumulative statistics."""
-        addresses = np.asarray(addresses, dtype=np.int64)
+    def _check_writes(self, addresses: np.ndarray, writes) -> np.ndarray:
         if writes is None:
-            writes = np.zeros(len(addresses), dtype=bool)
-        else:
-            writes = np.asarray(writes, dtype=bool)
-            if len(writes) != len(addresses):
-                raise ValueError("writes length must match addresses")
+            return np.zeros(len(addresses), dtype=bool)
+        writes = np.asarray(writes, dtype=bool)
+        if len(writes) != len(addresses):
+            raise ValueError("writes length must match addresses")
+        return writes
+
+    def access_many(self, addresses, writes=None) -> np.ndarray:
+        """Batched lookup of a whole address stream (the array engine).
+
+        Returns the per-access hit flags; statistics and LRU state
+        advance exactly as the equivalent sequence of :meth:`access`
+        calls would (the two paths share the same per-set structures, so
+        scalar and batched calls can be freely interleaved).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        writes = self._check_writes(addresses, writes)
+        n = len(addresses)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if int(addresses.min()) < 0:
+            raise ValueError("address must be non-negative")
+
+        # Whole-stream set/tag columns (same arithmetic as _locate),
+        # then pre-bind each access's home set to one list entry so the
+        # hot loop never re-hashes the set index.
+        pages = addresses // self.page_bytes
+        set_col = pages % self.n_sets
+        tag_col = pages // self.n_sets
+        sets_map = self._sets
+        for s in np.unique(set_col).tolist():
+            if s not in sets_map:
+                sets_map[s] = {}
+        ways_of = list(map(sets_map.__getitem__, set_col.tolist()))
+
+        flags: list[bool] = []
+        append = flags.append
+        hits = misses = evictions = writebacks = 0
+        assoc = self.associativity
+        for ways, tag, is_write in zip(
+            ways_of, tag_col.tolist(), writes.tolist()
+        ):
+            # Single hashed operation per hit: pop with a sentinel
+            # default both tests membership and removes the way, and
+            # the reinsert lands it at the MRU position.
+            dirty = ways.pop(tag, _MISS)
+            if dirty is not _MISS:
+                ways[tag] = dirty or is_write
+                hits += 1
+                append(True)
+            else:
+                misses += 1
+                if len(ways) >= assoc:
+                    victim = ways.pop(next(iter(ways)))
+                    evictions += 1
+                    if victim:
+                        writebacks += 1
+                ways[tag] = is_write
+                append(False)
+        self.stats.hits += hits
+        self.stats.misses += misses
+        self.stats.evictions += evictions
+        self.stats.writebacks += writebacks
+        return np.asarray(flags, dtype=bool)
+
+    def run_trace(self, addresses, writes=None,
+                  engine: str | None = None) -> DramCacheStats:
+        """Stream a whole trace; returns the cumulative statistics."""
+        engine = self.engine if engine is None else self._check_engine(engine)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if engine == "array":
+            self.access_many(addresses, writes)
+            return self.stats
+        writes = self._check_writes(addresses, writes)
         for addr, w in zip(addresses.tolist(), writes.tolist()):
             self.access(addr, w)
         return self.stats

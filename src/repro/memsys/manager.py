@@ -13,6 +13,24 @@ module implements that machinery over synthetic access histograms:
 * :class:`MemoryManager` — bookkeeping, placement queries, migration
   cost accounting, and the achieved in-package hit fraction that feeds
   the Fig. 8 performance model.
+
+Two interchangeable engines drive the epoch loop:
+
+``engine="event"``
+    The original scalar path: :meth:`MemoryManager.epoch` builds a
+    per-page count dict and delegates to the policy's ``place`` method,
+    kept as the readable specification and test oracle.
+
+``engine="array"`` (default)
+    :meth:`MemoryManager.epoch_array` ranks page access counts with
+    ``np.lexsort`` (descending count, ascending page — exactly the
+    order Python's stable ``sorted`` produces over the ascending
+    ``np.unique`` keys), computes promotions and the full eviction
+    order as vectorized top-k selections, and replays only the short
+    promote/evict tail as a loop. Placement updates are applied as
+    deltas to the shared ``placement`` dict, so the two engines can be
+    freely interleaved and produce identical placements, hit fractions,
+    and migration counts.
 """
 
 from __future__ import annotations
@@ -30,9 +48,13 @@ __all__ = [
     "FirstTouchPolicy",
     "HotnessMigrationPolicy",
     "MemoryManager",
+    "ENGINES",
 ]
 
 PAGE = 4096
+
+ENGINES = ("array", "event")
+"""Valid values for the ``engine`` selector (the first is the default)."""
 
 
 class MemoryLevel(enum.Enum):
@@ -141,9 +163,12 @@ class HotnessMigrationPolicy:
         for page in to_promote:
             if len(resident) >= capacity_pages:
                 # Evict the coldest resident page not in the wanted set.
+                # Ties break on the page number so the choice does not
+                # depend on set iteration order (keeps this oracle
+                # bit-identical to the vectorized engine).
                 evictable = sorted(
                     (p for p in resident if p not in want_in),
-                    key=lambda p: access_counts.get(p, 0),
+                    key=lambda p: (access_counts.get(p, 0), p),
                 )
                 if not evictable:
                     break
@@ -158,13 +183,30 @@ class HotnessMigrationPolicy:
 
 class MemoryManager:
     """Drives a placement policy over access epochs and reports the
-    achieved in-package service fraction."""
+    achieved in-package service fraction.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        In-package DRAM capacity.
+    policy:
+        Placement strategy; the array engine has vectorized paths for
+        :class:`FirstTouchPolicy` and :class:`HotnessMigrationPolicy`
+        and falls back to the scalar policy call for anything else.
+    page_size:
+        Placement grain.
+    engine:
+        Default execution engine for :meth:`run` / :meth:`run_batch`,
+        ``"array"`` (vectorized epochs) or ``"event"`` (the scalar
+        oracle). Either can be overridden per call.
+    """
 
     def __init__(
         self,
         capacity_bytes: float,
         policy: PlacementPolicy,
         page_size: int = PAGE,
+        engine: str = "array",
     ):
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
@@ -173,8 +215,21 @@ class MemoryManager:
         self.capacity_pages = int(capacity_bytes // page_size)
         self.page_size = page_size
         self.policy = policy
+        self.engine = self._check_engine(engine)
         self.placement: dict[int, MemoryLevel] = {}
         self.total_migrated = 0
+        # Resident-page mirror for the array engine; None means stale
+        # (the scalar path replaced `placement` wholesale) and it is
+        # rebuilt lazily on the next array epoch.
+        self._resident: set[int] | None = set()
+
+    @staticmethod
+    def _check_engine(engine: str) -> str:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        return engine
 
     def epoch(self, addresses: np.ndarray) -> float:
         """Process one epoch of accesses; returns the fraction of them
@@ -199,11 +254,159 @@ class MemoryManager:
         )
         self.placement = dict(result.level_of_page)
         self.total_migrated += result.migrated_pages
+        self._resident = None
         return hit_fraction
 
-    def run(self, epochs: list[np.ndarray]) -> list[float]:
+    # ------------------------------------------------------------------
+    # Array fast path
+    # ------------------------------------------------------------------
+    def _resident_set(self) -> set[int]:
+        if self._resident is None:
+            self._resident = {
+                p
+                for p, lvl in self.placement.items()
+                if lvl is MemoryLevel.IN_PACKAGE
+            }
+        return self._resident
+
+    def epoch_array(self, addresses: np.ndarray) -> float:
+        """Vectorized :meth:`epoch`: identical placements, hit
+        fractions, and migration counts, computed with array top-k
+        ranking instead of per-page dict loops.
+
+        Policies without a vectorized path fall back to the scalar
+        :meth:`epoch` (exact policy types only, so subclasses that
+        override ``place`` keep their semantics).
+        """
+        policy_type = type(self.policy)
+        if policy_type is HotnessMigrationPolicy:
+            return self._epoch_array_hotness(addresses)
+        if policy_type is FirstTouchPolicy:
+            return self._epoch_array_first_touch(addresses)
+        return self.epoch(addresses)
+
+    def _epoch_prolog(self, addresses):
+        """Shared epoch setup: unique page counts, residency mask over
+        the epoch's pages, and the served-in-package fraction."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return None
+        pages = addresses // self.page_size
+        unique, counts = np.unique(pages, return_counts=True)
+        unique_list = unique.tolist()
+        n_unique = len(unique_list)
+        get = self.placement.get
+        known = np.fromiter(
+            (get(p) is not None for p in unique_list), bool, n_unique
+        )
+        resident = self._resident_set()
+        resident_mask = np.fromiter(
+            (p in resident for p in unique_list), bool, n_unique
+        )
+        served_in = int(counts[resident_mask].sum())
+        hit_fraction = served_in / int(counts.sum())
+        return unique, counts, unique_list, known, resident_mask, hit_fraction
+
+    def _epoch_array_first_touch(self, addresses) -> float:
+        prolog = self._epoch_prolog(addresses)
+        if prolog is None:
+            return 1.0
+        unique, counts, unique_list, known, resident_mask, hit_fraction = (
+            prolog
+        )
+        resident = self._resident_set()
+        new_pages = unique[~known].tolist()
+        room = max(0, self.capacity_pages - len(resident))
+        take = min(room, len(new_pages))
+        levels = [MemoryLevel.IN_PACKAGE] * take + [
+            MemoryLevel.EXTERNAL
+        ] * (len(new_pages) - take)
+        self.placement.update(zip(new_pages, levels))
+        resident.update(new_pages[:take])
+        return hit_fraction
+
+    def _epoch_array_hotness(self, addresses) -> float:
+        prolog = self._epoch_prolog(addresses)
+        if prolog is None:
+            return 1.0
+        unique, counts, unique_list, known, resident_mask, hit_fraction = (
+            prolog
+        )
+        resident = self._resident_set()
+        placement = self.placement
+        capacity = self.capacity_pages
+
+        # New pages default to external before migration (the scalar
+        # path's setdefault sweep), in the same ascending-page order.
+        new_pages = unique[~known].tolist()
+        placement.update(
+            zip(new_pages, (MemoryLevel.EXTERNAL,) * len(new_pages))
+        )
+
+        # Rank by descending count, ascending page: np.lexsort's last
+        # key is primary, and negating counts plus the ascending page
+        # tiebreak reproduces the stable scalar sort exactly.
+        order = np.lexsort((unique, -counts))
+        top = order[:capacity]
+        to_promote = unique[top[~resident_mask[top]]].tolist()
+        limit = self.policy.migration_limit
+        if limit is not None:
+            to_promote = to_promote[:limit]
+
+        # Eviction candidates: resident pages outside the wanted set,
+        # orderable once up front because promotions only ever add
+        # wanted pages (never new candidates) and the count ranking is
+        # fixed for the epoch.
+        migrated = 0
+        if to_promote:
+            want_in = set(unique[top].tolist())
+            cands = np.fromiter(
+                (p for p in resident if p not in want_in),
+                np.int64,
+            )
+            if cands.size:
+                idx = np.searchsorted(unique, cands)
+                idx[idx >= len(unique_list)] = 0
+                found = unique[idx] == cands
+                cand_counts = np.where(found, counts[idx], 0)
+                victims = cands[np.lexsort((cands, cand_counts))].tolist()
+            else:
+                victims = []
+            vi = 0
+            n_resident = len(resident)
+            in_package = MemoryLevel.IN_PACKAGE
+            external = MemoryLevel.EXTERNAL
+            for page in to_promote:
+                if n_resident >= capacity:
+                    if vi >= len(victims):
+                        break
+                    victim = victims[vi]
+                    vi += 1
+                    placement[victim] = external
+                    resident.discard(victim)
+                    n_resident -= 1
+                placement[page] = in_package
+                resident.add(page)
+                n_resident += 1
+                migrated += 1
+        self.total_migrated += migrated
+        return hit_fraction
+
+    def run_batch(
+        self, epochs: list[np.ndarray], engine: str | None = None
+    ) -> list[float]:
+        """Process several epoch arrays through one shared placement
+        state; returns per-epoch in-package fractions."""
+        engine = self.engine if engine is None else self._check_engine(engine)
+        if engine == "event":
+            return [self.epoch(e) for e in epochs]
+        return [self.epoch_array(e) for e in epochs]
+
+    def run(
+        self, epochs: list[np.ndarray], engine: str | None = None
+    ) -> list[float]:
         """Process several epochs; returns per-epoch in-package fractions."""
-        return [self.epoch(e) for e in epochs]
+        return self.run_batch(epochs, engine=engine)
 
     @property
     def resident_pages(self) -> int:

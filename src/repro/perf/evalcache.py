@@ -24,6 +24,20 @@ engine) -> ApuSimResult``, so calibration cross-check sweeps that replay
 one kernel's trace against several engines/configs never re-simulate a
 (config, trace) pair they have already measured.
 
+The third front is the vectorized memory-system layer
+(:class:`MemsysCache`): DRAM-cache, row-buffer, and page-migration
+replays keyed by ``(geometry, address-stream fingerprint, engine)``, so
+capacity sweeps that push the same 50k-address stream through a dozen
+cache sizes only pay for each geometry once per process — or once
+*ever* with spill enabled.
+
+Every cache accepts an opt-in ``spill_dir``: computed entries are
+pickled to ``<spill_dir>/<key-digest>.pkl`` (atomic tmp + rename), and a
+memory miss probes the directory before recomputing, so cross-run
+calibration sweeps start warm. Spill files carry a format version and
+the full key; a corrupt file, a version bump, or a digest collision all
+read back as a clean miss.
+
 Cached :class:`~repro.core.node.NodeEvaluation` /
 :class:`~repro.sim.apu_sim.ApuSimResult` objects are shared: treat their
 arrays as read-only (the library's own consumers never mutate them).
@@ -32,6 +46,8 @@ arrays as read-only (the library's own consumers never mutate them).
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -40,6 +56,13 @@ from typing import Callable
 import numpy as np
 
 from repro.core.node import NodeEvaluation, NodeModel
+from repro.memsys.dramcache import DramCache, DramCacheStats
+from repro.memsys.manager import (
+    FirstTouchPolicy,
+    HotnessMigrationPolicy,
+    MemoryManager,
+)
+from repro.memsys.rowbuffer import RowBufferSim, RowBufferStats
 from repro.sim.apu_sim import ApuSimConfig, ApuSimResult, ApuSimulator
 from repro.workloads.kernels import KernelProfile
 from repro.workloads.traces import MemoryTrace
@@ -48,15 +71,24 @@ __all__ = [
     "CacheStats",
     "EvalCache",
     "SimCache",
+    "MemsysCache",
+    "SPILL_VERSION",
     "default_cache",
     "default_sim_cache",
+    "default_memsys_cache",
     "evaluate_arrays_cached",
     "simulate_trace_cached",
     "fingerprint_trace",
     "fingerprint_sim_config",
+    "fingerprint_addresses",
     "cache_stats",
     "clear_cache",
 ]
+
+SPILL_VERSION = 1
+"""On-disk spill format version; bumping it invalidates old spills."""
+
+_SPILL_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -67,18 +99,19 @@ class CacheStats:
     misses: int
     entries: int
     evictions: int
+    spill_hits: int = 0
 
     @property
     def requests(self) -> int:
         """Total lookups."""
-        return self.hits + self.misses
+        return self.hits + self.misses + self.spill_hits
 
     @property
     def hit_rate(self) -> float:
-        """Hits over lookups (0.0 when the cache is cold)."""
+        """Hits (memory or spill) over lookups (0.0 when cold)."""
         if self.requests == 0:
             return 0.0
-        return self.hits / self.requests
+        return (self.hits + self.spill_hits) / self.requests
 
 
 def _digest(text: str) -> str:
@@ -126,29 +159,106 @@ def fingerprint_sim_config(config: ApuSimConfig) -> str:
     return _digest(repr(config))
 
 
+def fingerprint_addresses(addresses, writes=None) -> str:
+    """Value fingerprint of a raw address stream (plus optional write
+    flags) — the memsys cache key component."""
+    h = hashlib.sha1()
+    for arr in (addresses, writes):
+        if arr is None:
+            h.update(b"none")
+            continue
+        arr = np.ascontiguousarray(np.asarray(arr))
+        h.update(str((arr.shape, arr.dtype.str)).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 class _KeyedMemo:
     """Thread-safe LRU memo shared by the evaluation-layer caches.
 
     Subclasses build their own keys and computations; this base owns the
-    entry table, the optional LRU bound, and the hit/miss/eviction
-    counters.
+    entry table, the optional LRU bound, the hit/miss/eviction counters,
+    and the optional on-disk spill.
 
     Parameters
     ----------
     maxsize:
         Optional LRU bound on cached values; ``None`` (default) keeps
         everything.
+    spill_dir:
+        Optional directory for pickled (key -> value) spill files. A
+        memory miss probes the directory before recomputing, and every
+        computed value is written back, so later runs pointed at the
+        same directory start warm. The in-memory LRU bound does not
+        apply to spilled files; :meth:`clear` leaves them on disk.
     """
 
-    def __init__(self, maxsize: int | None = None):
+    def __init__(
+        self, maxsize: int | None = None, spill_dir: str | None = None
+    ):
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive or None")
         self.maxsize = maxsize
+        self.spill_dir = None if spill_dir is None else os.fspath(spill_dir)
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._spill_hits = 0
+
+    # ------------------------------------------------------------------
+    # On-disk spill
+    # ------------------------------------------------------------------
+    def _spill_path(self, key: tuple) -> str:
+        return os.path.join(self.spill_dir, _digest(repr(key)) + ".pkl")
+
+    def _spill_load(self, key: tuple):
+        """Probe the spill directory; returns the sentinel on any kind
+        of failure (missing file, corrupt pickle, stale format version,
+        digest collision) so callers fall through to a recompute."""
+        try:
+            with open(self._spill_path(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if (
+                isinstance(payload, dict)
+                and payload.get("version") == SPILL_VERSION
+                and payload.get("key") == key
+            ):
+                return payload["value"]
+        except Exception:
+            # Corrupt or truncated pickles raise a long tail of
+            # exception types; every failure mode is just a cache miss.
+            pass
+        return _SPILL_MISS
+
+    def _spill_store(self, key: tuple, value) -> None:
+        """Atomically persist one entry (tmp file + rename); IO errors
+        are swallowed — spill is an accelerator, never a correctness
+        dependency."""
+        path = self._spill_path(key)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(
+                    {"version": SPILL_VERSION, "key": key, "value": value},
+                    fh,
+                )
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _insert_locked(self, key: tuple, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def _get_or_compute(self, key: tuple, compute: Callable[[], object]):
         with self._lock:
@@ -157,15 +267,20 @@ class _KeyedMemo:
                 self._hits += 1
                 self._entries.move_to_end(key)
                 return cached
+        if self.spill_dir is not None:
+            loaded = self._spill_load(key)
+            if loaded is not _SPILL_MISS:
+                with self._lock:
+                    self._spill_hits += 1
+                    self._insert_locked(key, loaded)
+                return loaded
+        with self._lock:
             self._misses += 1
         value = compute()
+        if self.spill_dir is not None:
+            self._spill_store(key, value)
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            if self.maxsize is not None:
-                while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
-                    self._evictions += 1
+            self._insert_locked(key, value)
         return value
 
     def stats(self) -> CacheStats:
@@ -176,13 +291,17 @@ class _KeyedMemo:
                 misses=self._misses,
                 entries=len(self._entries),
                 evictions=self._evictions,
+                spill_hits=self._spill_hits,
             )
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every in-memory entry and reset the counters (spilled
+        files, if any, stay on disk — that is what makes cross-run
+        warm starts work)."""
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = self._evictions = 0
+            self._spill_hits = 0
 
 
 class EvalCache(_KeyedMemo):
@@ -350,6 +469,124 @@ def simulate_trace_cached(
     """
     cache = cache if cache is not None else _default_sim_cache
     return cache.run(trace, config=config, engine=engine)
+
+
+class MemsysCache(_KeyedMemo):
+    """Keyed memo fronting the memory-system engines.
+
+    Keys are ``(kind, geometry..., address-stream fingerprint, engine)``
+    tuples; the three kinds cover the DRAM-cache, row-buffer, and
+    page-migration replays the Fig. 8/9 experiment drivers run. As with
+    :class:`SimCache`, both engines are cached independently so the
+    oracle harness's deliberate double runs never alias.
+    """
+
+    def dram_stats(
+        self,
+        addresses,
+        writes=None,
+        *,
+        capacity_bytes: float = 256.0e9,
+        page_bytes: int = 4096,
+        associativity: int = 8,
+        engine: str = "array",
+    ) -> DramCacheStats:
+        """Cached ``DramCache(...).run_trace(addresses, writes)`` from a
+        cold cache."""
+        key = (
+            "dram",
+            float(capacity_bytes),
+            int(page_bytes),
+            int(associativity),
+            fingerprint_addresses(addresses, writes),
+            engine,
+        )
+
+        def compute() -> DramCacheStats:
+            cache = DramCache(
+                capacity_bytes, page_bytes, associativity, engine=engine
+            )
+            return cache.run_trace(addresses, writes)
+
+        return self._get_or_compute(key, compute)
+
+    def rowbuffer_stats(
+        self,
+        addresses,
+        *,
+        n_banks: int = 128,
+        row_bytes: int = 1024,
+        channel_interleave_bytes: int = 256,
+        engine: str = "array",
+    ) -> RowBufferStats:
+        """Cached ``RowBufferSim(...).run(addresses)`` from closed rows."""
+        key = (
+            "rowbuffer",
+            int(n_banks),
+            int(row_bytes),
+            int(channel_interleave_bytes),
+            fingerprint_addresses(addresses),
+            engine,
+        )
+
+        def compute() -> RowBufferStats:
+            sim = RowBufferSim(
+                n_banks, row_bytes, channel_interleave_bytes, engine=engine
+            )
+            return sim.run(addresses)
+
+        return self._get_or_compute(key, compute)
+
+    def manager_fractions(
+        self,
+        addresses,
+        *,
+        n_epochs: int = 4,
+        capacity_bytes: float = 256.0e9,
+        page_size: int = 4096,
+        policy: str = "hotness",
+        migration_limit: int | None = None,
+        engine: str = "array",
+    ) -> tuple[float, ...]:
+        """Cached per-epoch in-package fractions: the address stream is
+        split into *n_epochs* contiguous epochs and driven through a
+        fresh :class:`~repro.memsys.manager.MemoryManager`."""
+        if n_epochs <= 0:
+            raise ValueError("n_epochs must be positive")
+        if policy not in ("hotness", "first-touch"):
+            raise ValueError(f"unknown policy {policy!r}")
+        key = (
+            "manager",
+            int(n_epochs),
+            float(capacity_bytes),
+            int(page_size),
+            policy,
+            migration_limit,
+            fingerprint_addresses(addresses),
+            engine,
+        )
+
+        def compute() -> tuple[float, ...]:
+            if policy == "hotness":
+                pol = HotnessMigrationPolicy(migration_limit)
+            else:
+                pol = FirstTouchPolicy()
+            manager = MemoryManager(
+                capacity_bytes, pol, page_size, engine=engine
+            )
+            arr = np.asarray(addresses, dtype=np.int64)
+            epochs = np.array_split(arr, n_epochs)
+            return tuple(manager.run_batch(epochs))
+
+        return self._get_or_compute(key, compute)
+
+
+_default_memsys_cache = MemsysCache()
+
+
+def default_memsys_cache() -> MemsysCache:
+    """The process-wide shared memory-system cache."""
+    return _default_memsys_cache
 
 
 def cache_stats() -> CacheStats:

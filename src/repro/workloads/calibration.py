@@ -45,11 +45,14 @@ __all__ = [
     "CalibrationTarget",
     "FitReport",
     "TraceCrosscheckRow",
+    "ChipletPenaltyRow",
+    "DEFAULT_CHIPLET_PENALTIES_NS",
     "default_calibration_trace",
     "fit_profile",
     "fit_all",
     "joint_calibrate",
     "trace_crosscheck",
+    "chiplet_penalty_table",
 ]
 
 DEFAULT_TRACE_SEED = 42
@@ -564,6 +567,99 @@ def trace_crosscheck(
                 sim_dram_fraction=sim.dram_fraction,
             )
         )
+    return rows
+
+
+@dataclass(frozen=True)
+class ChipletPenaltyRow:
+    """One (application, penalty) point of the Fig. 7-style table."""
+
+    name: str
+    penalty_ns: float
+    sim_relative: float
+    analytic_relative: float
+
+    @property
+    def agreement(self) -> float:
+        """Simulated over analytic relative performance (1.0 = the two
+        substrates predict the same degradation)."""
+        if self.analytic_relative <= 0:
+            return float("inf")
+        return self.sim_relative / self.analytic_relative
+
+
+DEFAULT_CHIPLET_PENALTIES_NS = (0.0, 10.0, 25.0, 50.0, 100.0)
+"""Cross-chiplet latency penalties swept by the Fig. 7-style table."""
+
+
+def chiplet_penalty_table(
+    penalties_ns: Sequence[float] = DEFAULT_CHIPLET_PENALTIES_NS,
+    names: Sequence[str] | None = None,
+    sim_config: ApuSimConfig | None = None,
+    model: NodeModel | None = None,
+    n_accesses: int = 20_000,
+    seed: int = DEFAULT_TRACE_SEED,
+    engine: str | None = None,
+) -> list[ChipletPenaltyRow]:
+    """Fig. 7-style chiplet-penalty table, simulated vs analytic.
+
+    Sweeps ``chiplet_extra_latency`` through *both* substrates — the
+    trace-driven APU simulator (``ApuSimConfig.chiplet_extra_latency``)
+    and the analytic node model (``extra_latency``) — and reports each
+    application's performance at every penalty relative to its own
+    zero-penalty point. The paper's Fig. 7 makes the same comparison to
+    argue the chiplet organization costs little; the ``agreement``
+    column is the cross-substrate sanity check.
+
+    Everything routes through the shared fingerprint caches, so the
+    sweep costs one simulation per distinct (config, trace) pair.
+    """
+    import dataclasses
+
+    from repro.workloads.catalog import APPLICATIONS, get_application
+
+    if any(p < 0 for p in penalties_ns):
+        raise ValueError("penalties must be non-negative")
+    model = model or NodeModel()
+    sim_config = sim_config or ApuSimConfig()
+    best = PAPER_BEST_MEAN
+    rows: list[ChipletPenaltyRow] = []
+    for name in list(names) if names is not None else list(APPLICATIONS):
+        profile = get_application(name)
+        trace = TraceGenerator(profile, seed=seed).generate(n_accesses)
+
+        def _point(penalty_ns: float) -> tuple[float, float]:
+            cfg = dataclasses.replace(
+                sim_config, chiplet_extra_latency=penalty_ns * 1e-9
+            )
+            sim = simulate_trace_cached(trace, cfg, engine=engine)
+            ev = evaluate_arrays_cached(
+                model,
+                profile,
+                best.n_cus,
+                best.gpu_freq,
+                best.bandwidth,
+                extra_latency=penalty_ns * 1e-9,
+            )
+            return sim.flops_rate, float(np.asarray(ev.performance))
+
+        sim_base, analytic_base = _point(0.0)
+        for penalty in penalties_ns:
+            sim_perf, analytic_perf = _point(float(penalty))
+            rows.append(
+                ChipletPenaltyRow(
+                    name=name,
+                    penalty_ns=float(penalty),
+                    sim_relative=(
+                        sim_perf / sim_base if sim_base > 0 else 0.0
+                    ),
+                    analytic_relative=(
+                        analytic_perf / analytic_base
+                        if analytic_base > 0
+                        else 0.0
+                    ),
+                )
+            )
     return rows
 
 

@@ -158,3 +158,66 @@ class TestAllCalibratedProfiles:
         # HPGMG retains a small shape-penalty residual; everything else
         # sits at (near) zero loss.
         assert obj(x) < 3.0
+
+
+class TestChipletPenaltyTable:
+    """The Fig. 7-style simulated-vs-analytic chiplet-penalty sweep."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.workloads.calibration import chiplet_penalty_table
+
+        return chiplet_penalty_table(
+            names=["CoMD", "MaxFlops", "LULESH"], n_accesses=12_000
+        )
+
+    def test_covers_full_grid(self, rows):
+        from repro.workloads.calibration import DEFAULT_CHIPLET_PENALTIES_NS
+
+        names = {r.name for r in rows}
+        assert names == {"CoMD", "MaxFlops", "LULESH"}
+        for name in names:
+            penalties = [r.penalty_ns for r in rows if r.name == name]
+            assert penalties == list(DEFAULT_CHIPLET_PENALTIES_NS)
+
+    def test_zero_penalty_is_unity(self, rows):
+        for r in rows:
+            if r.penalty_ns == 0.0:
+                assert r.sim_relative == pytest.approx(1.0, rel=1e-12)
+                assert r.analytic_relative == pytest.approx(1.0, rel=1e-12)
+
+    def test_monotone_degradation(self, rows):
+        """Higher penalties never help: the analytic column is exactly
+        non-increasing; the simulated column is allowed sub-percent
+        scheduling noise (compute-bound kernels are penalty-blind)."""
+        for name in {r.name for r in rows}:
+            app = sorted(
+                (r for r in rows if r.name == name),
+                key=lambda r: r.penalty_ns,
+            )
+            for earlier, later in zip(app, app[1:]):
+                assert later.analytic_relative <= (
+                    earlier.analytic_relative + 1e-12
+                )
+                assert later.sim_relative <= earlier.sim_relative + 0.02
+
+    def test_memory_bound_apps_degrade(self, rows):
+        worst = {
+            r.name: r.sim_relative
+            for r in rows
+            if r.penalty_ns == max(x.penalty_ns for x in rows)
+        }
+        assert worst["CoMD"] < 0.95
+        assert worst["LULESH"] < 0.95
+        # MaxFlops is compute-bound: penalties barely register.
+        assert worst["MaxFlops"] > 0.98
+
+    def test_substrates_agree_within_band(self, rows):
+        for r in rows:
+            assert 0.9 < r.agreement < 1.1
+
+    def test_rejects_negative_penalties(self):
+        from repro.workloads.calibration import chiplet_penalty_table
+
+        with pytest.raises(ValueError):
+            chiplet_penalty_table(penalties_ns=(-1.0,), names=["CoMD"])

@@ -280,3 +280,92 @@ class TestFig14Exascale:
         result = run_fig14()
         for row in result.data.values():
             assert row["power_mw"] < 20.0
+
+
+class TestFig8Measured:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.miss_sensitivity import run_fig8_measured
+
+        return run_fig8_measured()
+
+    def test_covers_all_applications_and_capacities(self, result):
+        from repro.experiments.miss_sensitivity import CAPACITY_FRACTIONS
+
+        for app, payload in result.data.items():
+            assert len(payload["miss_rates"]) == len(CAPACITY_FRACTIONS)
+            assert len(payload["relative_pct"]) == len(CAPACITY_FRACTIONS)
+
+    def test_miss_rates_valid_and_monotone_in_capacity(self, result):
+        for app, payload in result.data.items():
+            rates = payload["miss_rates"]
+            assert all(0.0 <= r <= 1.0 for r in rates)
+            # More capacity never increases the measured miss rate.
+            for earlier, later in zip(rates, rates[1:]):
+                assert later <= earlier + 1e-12
+
+    def test_performance_bounded_by_no_miss_case(self, result):
+        for app, payload in result.data.items():
+            assert all(0.0 < p <= 100.0 + 1e-9
+                       for p in payload["relative_pct"])
+
+    def test_engines_agree(self):
+        from repro.experiments.miss_sensitivity import measured_miss_rates
+        from repro.perf.evalcache import MemsysCache
+        from repro.workloads.catalog import get_application
+
+        profile = get_application("CoMD")
+        array_rates = measured_miss_rates(
+            profile, (0.05, 0.5), cache=MemsysCache()
+        )
+        event_rates = measured_miss_rates(
+            profile, (0.05, 0.5), engine="event", cache=MemsysCache()
+        )
+        assert array_rates == pytest.approx(event_rates, rel=1e-9)
+
+    def test_repeat_run_hits_memsys_cache(self, result):
+        from repro.experiments.miss_sensitivity import run_fig8_measured
+        from repro.perf.evalcache import default_memsys_cache
+
+        before = default_memsys_cache().stats()
+        run_fig8_measured()
+        after = default_memsys_cache().stats()
+        assert after.misses == before.misses
+        assert after.hits > before.hits
+
+
+class TestFig9Managed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.external_memory import run_fig9_managed
+
+        return run_fig9_managed()
+
+    def test_ext_fraction_measured_not_static(self, result):
+        for ext_name, apps in result.data.items():
+            for app, cats in apps.items():
+                assert 0.0 <= cats["Ext frac"] <= 1.0
+
+    def test_totals_positive_and_structured(self, result):
+        for ext_name, apps in result.data.items():
+            for app, cats in apps.items():
+                assert cats["Total"] > 0
+                parts = sum(
+                    v for k, v in cats.items()
+                    if k not in ("Total", "Ext frac")
+                )
+                assert parts == pytest.approx(cats["Total"], rel=1e-6)
+
+    def test_engines_agree(self):
+        from repro.experiments.external_memory import (
+            measured_inpackage_fraction,
+        )
+        from repro.perf.evalcache import MemsysCache
+        from repro.workloads.catalog import get_application
+
+        profile = get_application("CoMD")
+        fa = measured_inpackage_fraction(profile, cache=MemsysCache())
+        fe = measured_inpackage_fraction(
+            profile, engine="event", cache=MemsysCache()
+        )
+        assert fa == pytest.approx(fe, rel=1e-9)

@@ -371,3 +371,202 @@ class TestGeometricMeanAcross:
             geometric_mean_across(np.array([[1.0, -2.0]]))
         out = geometric_mean_across(np.array([[2.0, 8.0], [8.0, 2.0]]))
         assert out == pytest.approx([4.0, 4.0])
+
+
+class TestMemsysCache:
+    """The (geometry, address-stream, engine)-keyed memsys memo."""
+
+    def _stream(self, n=2000, seed=4):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 1 << 22, size=n), rng.random(n) < 0.3
+
+    def test_dram_stats_memoized(self):
+        from repro.perf.evalcache import MemsysCache
+
+        cache = MemsysCache()
+        addrs, writes = self._stream()
+        s1 = cache.dram_stats(addrs, writes, capacity_bytes=1 << 20)
+        s2 = cache.dram_stats(addrs, writes, capacity_bytes=1 << 20)
+        assert s2 is s1
+        assert cache.stats().hits == 1 and cache.stats().misses == 1
+
+    def test_engines_cached_independently_and_agree(self):
+        from dataclasses import astuple
+
+        from repro.perf.evalcache import MemsysCache
+
+        cache = MemsysCache()
+        addrs, writes = self._stream()
+        sa = cache.dram_stats(addrs, writes, capacity_bytes=1 << 20)
+        se = cache.dram_stats(
+            addrs, writes, capacity_bytes=1 << 20, engine="event"
+        )
+        assert se is not sa
+        assert astuple(se) == astuple(sa)
+
+    def test_geometry_differentiates(self):
+        from repro.perf.evalcache import MemsysCache
+
+        cache = MemsysCache()
+        addrs, writes = self._stream()
+        cache.dram_stats(addrs, writes, capacity_bytes=1 << 20)
+        cache.dram_stats(addrs, writes, capacity_bytes=2 << 20)
+        cache.rowbuffer_stats(addrs)
+        cache.rowbuffer_stats(addrs, n_banks=64)
+        assert cache.stats().misses == 4 and cache.stats().hits == 0
+
+    def test_manager_fractions_memoized_per_policy(self):
+        from repro.perf.evalcache import MemsysCache
+
+        cache = MemsysCache()
+        addrs, _ = self._stream()
+        f1 = cache.manager_fractions(
+            addrs, n_epochs=3, capacity_bytes=64 * 4096
+        )
+        f2 = cache.manager_fractions(
+            addrs, n_epochs=3, capacity_bytes=64 * 4096
+        )
+        ft = cache.manager_fractions(
+            addrs, n_epochs=3, capacity_bytes=64 * 4096, policy="first-touch"
+        )
+        assert f2 is f1 and len(f1) == 3
+        assert ft != f1 or cache.stats().misses == 2
+        with pytest.raises(ValueError):
+            cache.manager_fractions(addrs, policy="nope")
+        with pytest.raises(ValueError):
+            cache.manager_fractions(addrs, n_epochs=0)
+
+    def test_fingerprint_addresses_is_value_digest(self):
+        from repro.perf.evalcache import fingerprint_addresses
+
+        a = np.arange(10, dtype=np.int64)
+        assert fingerprint_addresses(a) == fingerprint_addresses(a.copy())
+        assert fingerprint_addresses(a) != fingerprint_addresses(a + 1)
+        w = np.zeros(10, dtype=bool)
+        assert fingerprint_addresses(a, w) != fingerprint_addresses(a)
+
+    def test_default_cache_singleton(self):
+        from repro.perf.evalcache import default_memsys_cache
+
+        assert default_memsys_cache() is default_memsys_cache()
+
+
+class TestOnDiskSpill:
+    """Opt-in spill_dir: cross-run warm starts with versioned pickles."""
+
+    def _stream(self, n=1500, seed=9):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 1 << 20, size=n), rng.random(n) < 0.5
+
+    def test_cross_instance_warm_start(self, tmp_path):
+        from dataclasses import astuple
+
+        from repro.perf.evalcache import MemsysCache
+
+        addrs, writes = self._stream()
+        first = MemsysCache(spill_dir=tmp_path)
+        r1 = first.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        assert first.stats().misses == 1
+
+        second = MemsysCache(spill_dir=tmp_path)
+        r2 = second.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        st = second.stats()
+        assert st.spill_hits == 1 and st.misses == 0
+        assert astuple(r2) == astuple(r1)
+        # Spill hits count toward the hit rate.
+        assert st.hit_rate == 1.0
+        # Once loaded, the entry lives in memory: no second disk probe.
+        second.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        assert second.stats().hits == 1
+
+    def test_simcache_spill(self, tmp_path):
+        from repro.perf.evalcache import SimCache
+
+        profile = get_application("CoMD")
+        trace = TraceGenerator(profile, seed=3).generate(2000)
+        a = SimCache(spill_dir=tmp_path)
+        r1 = a.run(trace)
+        b = SimCache(spill_dir=tmp_path)
+        r2 = b.run(trace)
+        assert b.stats().spill_hits == 1
+        assert r2.elapsed == pytest.approx(r1.elapsed, rel=1e-12)
+
+    def test_corrupt_entry_is_clean_miss(self, tmp_path):
+        from repro.perf.evalcache import MemsysCache
+
+        addrs, writes = self._stream()
+        a = MemsysCache(spill_dir=tmp_path)
+        a.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        for path in tmp_path.iterdir():
+            path.write_bytes(b"\x80\x04 this is not a pickle")
+        b = MemsysCache(spill_dir=tmp_path)
+        b.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        st = b.stats()
+        assert st.misses == 1 and st.spill_hits == 0
+        # The recompute overwrote the corrupt file with a good one.
+        c = MemsysCache(spill_dir=tmp_path)
+        c.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        assert c.stats().spill_hits == 1
+
+    def test_version_mismatch_is_clean_miss(self, tmp_path, monkeypatch):
+        import repro.perf.evalcache as evalcache
+
+        addrs, writes = self._stream()
+        a = evalcache.MemsysCache(spill_dir=tmp_path)
+        a.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        monkeypatch.setattr(evalcache, "SPILL_VERSION", 2)
+        b = evalcache.MemsysCache(spill_dir=tmp_path)
+        b.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        st = b.stats()
+        assert st.misses == 1 and st.spill_hits == 0
+
+    def test_key_mismatch_is_clean_miss(self, tmp_path):
+        """A digest collision (forged here by renaming a spill file onto
+        the path another key probes) must be rejected by the embedded
+        full key."""
+        import os
+
+        from repro.perf.evalcache import MemsysCache, fingerprint_addresses
+
+        addrs, writes = self._stream()
+        a = MemsysCache(spill_dir=tmp_path)
+        a.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        (old,) = list(tmp_path.iterdir())
+        # Move the 1<<19 entry onto the exact path the 1<<20 lookup
+        # will probe; its payload still embeds the 1<<19 key.
+        probe_key = (
+            "dram",
+            float(1 << 20),
+            4096,
+            8,
+            fingerprint_addresses(addrs, writes),
+            "array",
+        )
+        os.replace(old, a._spill_path(probe_key))
+        b = MemsysCache(spill_dir=tmp_path)
+        b.dram_stats(addrs, writes, capacity_bytes=1 << 20)
+        st = b.stats()
+        assert st.spill_hits == 0 and st.misses == 1
+
+    def test_spill_survives_clear(self, tmp_path):
+        from repro.perf.evalcache import MemsysCache
+
+        addrs, writes = self._stream()
+        cache = MemsysCache(spill_dir=tmp_path)
+        cache.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        cache.clear()
+        assert cache.stats().entries == 0
+        cache.dram_stats(addrs, writes, capacity_bytes=1 << 19)
+        assert cache.stats().spill_hits == 1
+
+    def test_spill_disabled_writes_nothing(self, tmp_path):
+        from repro.perf.evalcache import EvalCache
+
+        cache = EvalCache()
+        assert cache.spill_dir is None
+        model = NodeModel()
+        profile = get_application("CoMD")
+        cache.evaluate_arrays(
+            model, profile, np.array([256.0]), 1.0e9, 3.0e12
+        )
+        assert list(tmp_path.iterdir()) == []

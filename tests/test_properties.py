@@ -14,6 +14,7 @@ from repro.core.config import EHPConfig
 from repro.core.node import NodeModel
 from repro.memsys.dramcache import DramCache
 from repro.memsys.interleave import AddressInterleaver
+from repro.memsys.rowbuffer import RowBufferSim
 from repro.perfmodel.roofline import evaluate_kernel
 from repro.power.components import PowerParams
 from repro.ras.checkpoint import CheckpointModel
@@ -312,3 +313,94 @@ class TestSimulatorInvariants:
             e.mean_memory_latency, rel=1e-9
         )
         assert a.hit_rates == e.hit_rates
+
+
+class TestMemsysEngineProperties:
+    """Randomized scalar/array agreement and structural invariants for
+    the memory-system engines (deterministic grid:
+    tests/test_memsys_oracle.py)."""
+
+    addresses = st.lists(
+        st.integers(min_value=0, max_value=1 << 24), min_size=0, max_size=400
+    )
+
+    @given(addresses, st.sampled_from([1, 4, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_rowbuffer_engines_agree(self, addrs, n_banks):
+        stream = np.asarray(addrs, dtype=np.int64)
+        a = RowBufferSim(n_banks=n_banks, row_bytes=512, engine="array")
+        b = RowBufferSim(n_banks=n_banks, row_bytes=512, engine="event")
+        sa = a.run(stream)
+        sb = b.run(stream)
+        assert (sa.hits, sa.misses, sa.bank_conflicts) == (
+            sb.hits,
+            sb.misses,
+            sb.bank_conflicts,
+        )
+        assert 0.0 <= sa.hit_rate <= 1.0
+        assert sa.accesses == len(addrs)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_dramcache_engines_agree(self, data):
+        addrs = data.draw(self.addresses)
+        writes = data.draw(
+            st.lists(
+                st.booleans(), min_size=len(addrs), max_size=len(addrs)
+            )
+        )
+        assoc = data.draw(st.sampled_from([1, 2, 8]))
+        page = data.draw(st.sampled_from([256, 4096]))
+        capacity = assoc * page * data.draw(st.sampled_from([1, 4, 64]))
+        stream = np.asarray(addrs, dtype=np.int64)
+        wr = np.asarray(writes, dtype=bool)
+        a = DramCache(capacity, page, assoc, engine="array")
+        b = DramCache(capacity, page, assoc, engine="event")
+        flags = a.access_many(stream, wr)
+        expected = [b.access(int(x), bool(w)) for x, w in zip(stream, wr)]
+        assert flags.tolist() == expected
+        assert (a.stats.hits, a.stats.misses, a.stats.evictions,
+                a.stats.writebacks) == (
+            b.stats.hits, b.stats.misses, b.stats.evictions,
+            b.stats.writebacks,
+        )
+        # Structural invariants: bounded occupancy, conservation.
+        assert 0.0 <= a.stats.hit_rate <= 1.0
+        assert a.stats.hits + a.stats.misses == len(addrs)
+        assert a.resident_pages <= a.n_sets * a.associativity
+        for ways in a._sets.values():
+            assert 0 < len(ways) <= a.associativity
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_manager_engines_agree(self, data):
+        n_epochs = data.draw(st.integers(min_value=1, max_value=4))
+        capacity_pages = data.draw(st.integers(min_value=1, max_value=40))
+        limit = data.draw(st.one_of(st.none(), st.integers(0, 10)))
+        hot = data.draw(st.booleans())
+        page = 4096
+
+        def policy():
+            from repro.memsys.manager import (
+                FirstTouchPolicy,
+                HotnessMigrationPolicy,
+            )
+
+            return (
+                HotnessMigrationPolicy(limit) if hot else FirstTouchPolicy()
+            )
+
+        from repro.memsys.manager import MemoryManager
+
+        a = MemoryManager(capacity_pages * page, policy(), page)
+        b = MemoryManager(capacity_pages * page, policy(), page)
+        for _ in range(n_epochs):
+            addrs = data.draw(self.addresses)
+            stream = np.asarray(addrs, dtype=np.int64)
+            fa = a.epoch_array(stream)
+            fb = b.epoch(stream)
+            assert fa == pytest.approx(fb, rel=1e-9)
+            assert 0.0 <= fa <= 1.0
+            assert a.resident_pages <= a.capacity_pages
+        assert a.placement == b.placement
+        assert a.total_migrated == b.total_migrated

@@ -5,6 +5,11 @@ prints the reproduced rows/series (use ``-s`` to see them alongside the
 timings). Run with::
 
     pytest benchmarks/ --benchmark-only
+
+``--benchmark-json`` artifacts are rewritten compactly after the run
+(see :mod:`repro.util.benchjson`): pytest-benchmark pretty-prints at
+``indent=4`` (~45k lines), which swamps diffs for files we keep in the
+repo. The rewrite adds a ``summary`` block with the headline stats.
 """
 
 import pytest
@@ -20,3 +25,22 @@ def show():
         return result
 
     return _show
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    """Compact the ``--benchmark-json`` artifact after pytest-benchmark
+    writes it (its own sessionfinish is a hookwrapper that writes before
+    yielding, so trylast here runs after the file exists)."""
+    json_file = session.config.getoption("benchmark_json", None)
+    path = getattr(json_file, "name", None)
+    if not path:
+        return
+    from repro.util.benchjson import compact_file
+
+    try:
+        compact_file(path)
+    except (OSError, ValueError):
+        # A failed/aborted benchmark run may leave no (or partial) JSON;
+        # compaction is cosmetic, never fail the session over it.
+        pass

@@ -6,6 +6,9 @@ Usage::
     python -m repro fig8 table2        # run selected artifacts
     python -m repro all                 # run everything
     python -m repro all --jobs 4        # ... across 4 worker processes
+    python -m repro all --metrics-out manifest.json --trace-out trace.json
+                                        # ... plus a run manifest and a
+                                        # Perfetto-loadable span trace
 """
 
 from __future__ import annotations
@@ -40,6 +43,24 @@ def main(argv: list[str] | None = None) -> int:
             "(default 1: serial in-process)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a run manifest JSON (git revision, engine choices, "
+            "cache counters, wall times, metrics snapshot) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record spans for the run and write Chrome trace-event "
+            "JSON to PATH (open in chrome://tracing or Perfetto)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.artifacts == ["list"]:
@@ -59,11 +80,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    if args.jobs > 1:
+    if args.jobs > 1 or args.metrics_out or args.trace_out:
         from repro.perf.parallel import run_experiments
 
         results = run_experiments(
-            names, parallel=True, max_workers=args.jobs
+            names,
+            parallel=args.jobs > 1,
+            max_workers=args.jobs if args.jobs > 1 else None,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         )
     else:
         results = {name: EXPERIMENTS[name]() for name in names}

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.core.config import DesignSpace, EHPConfig
 from repro.core.node import NodeModel
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.util.stats import geometric_mean_across
 from repro.workloads.kernels import KernelProfile
 
@@ -121,20 +123,26 @@ def explore(
     performance: dict[str, np.ndarray] = {}
     node_power: dict[str, np.ndarray] = {}
     feasible: dict[str, np.ndarray] = {}
-    for profile in profiles:
-        if cache is False:
-            evaluation = model.evaluate_arrays(profile, cus, freqs, bws)
-        else:
-            evaluation = cache.evaluate_arrays(
-                model, profile, cus, freqs, bws
-            )
-        perf = np.asarray(evaluation.performance, dtype=float)
-        power = np.asarray(evaluation.node_power, dtype=float)
-        performance[profile.name] = perf
-        node_power[profile.name] = power
-        feasible[profile.name] = power <= space.power_budget
+    with obs_trace.span(
+        "dse.explore", profiles=len(profiles), points=int(cus.size)
+    ), obs_metrics.timed("dse.explore_seconds"):
+        for profile in profiles:
+            if cache is False:
+                evaluation = model.evaluate_arrays(profile, cus, freqs, bws)
+            else:
+                evaluation = cache.evaluate_arrays(
+                    model, profile, cus, freqs, bws
+                )
+            perf = np.asarray(evaluation.performance, dtype=float)
+            power = np.asarray(evaluation.node_power, dtype=float)
+            performance[profile.name] = perf
+            node_power[profile.name] = power
+            feasible[profile.name] = power <= space.power_budget
 
-    return _select_optima(space, performance, node_power, feasible)
+        result = _select_optima(space, performance, node_power, feasible)
+    obs_metrics.inc("dse.explores")
+    obs_metrics.inc("dse.grid_points", int(cus.size) * len(profiles))
+    return result
 
 
 def _select_optima(

@@ -35,6 +35,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 __all__ = ["DramCacheStats", "DramCache", "ENGINES"]
 
 ENGINES = ("array", "event")
@@ -213,12 +216,18 @@ class DramCache:
         """Stream a whole trace; returns the cumulative statistics."""
         engine = self.engine if engine is None else self._check_engine(engine)
         addresses = np.asarray(addresses, dtype=np.int64)
-        if engine == "array":
-            self.access_many(addresses, writes)
-            return self.stats
-        writes = self._check_writes(addresses, writes)
-        for addr, w in zip(addresses.tolist(), writes.tolist()):
-            self.access(addr, w)
+        with obs_trace.span(
+            "dramcache.run_trace", engine=engine,
+            accesses=int(addresses.size),
+        ):
+            if engine == "array":
+                self.access_many(addresses, writes)
+            else:
+                writes = self._check_writes(addresses, writes)
+                for addr, w in zip(addresses.tolist(), writes.tolist()):
+                    self.access(addr, w)
+        obs_metrics.inc("memsys.dramcache.runs")
+        obs_metrics.inc("memsys.dramcache.accesses", int(addresses.size))
         return self.stats
 
     @property

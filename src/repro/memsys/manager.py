@@ -41,6 +41,9 @@ from typing import Mapping, Protocol
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 __all__ = [
     "MemoryLevel",
     "PagePlacement",
@@ -398,9 +401,18 @@ class MemoryManager:
         """Process several epoch arrays through one shared placement
         state; returns per-epoch in-package fractions."""
         engine = self.engine if engine is None else self._check_engine(engine)
-        if engine == "event":
-            return [self.epoch(e) for e in epochs]
-        return [self.epoch_array(e) for e in epochs]
+        total = sum(int(np.asarray(e).size) for e in epochs)
+        with obs_trace.span(
+            "manager.run_batch", engine=engine, epochs=len(epochs),
+            accesses=total,
+        ):
+            if engine == "event":
+                fractions = [self.epoch(e) for e in epochs]
+            else:
+                fractions = [self.epoch_array(e) for e in epochs]
+        obs_metrics.inc("memsys.manager.epochs", len(epochs))
+        obs_metrics.inc("memsys.manager.accesses", total)
+        return fractions
 
     def run(
         self, epochs: list[np.ndarray], engine: str | None = None

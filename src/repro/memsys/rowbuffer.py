@@ -32,6 +32,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 __all__ = ["RowBufferSim", "RowBufferStats", "ENGINES"]
 
 ENGINES = ("array", "event")
@@ -130,9 +133,16 @@ class RowBufferSim:
         """
         engine = self.engine if engine is None else self._check_engine(engine)
         addresses = np.asarray(addresses, dtype=np.int64)
-        if engine == "event":
-            return self._run_event(addresses)
-        return self._run_array(addresses)
+        with obs_trace.span(
+            "rowbuffer.run", engine=engine, accesses=int(addresses.size)
+        ):
+            if engine == "event":
+                result = self._run_event(addresses)
+            else:
+                result = self._run_array(addresses)
+        obs_metrics.inc("memsys.rowbuffer.runs")
+        obs_metrics.inc("memsys.rowbuffer.accesses", int(addresses.size))
+        return result
 
     # ------------------------------------------------------------------
     # Scalar oracle (the original implementation, kept verbatim)

@@ -26,6 +26,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.noc.routing import route
 from repro.noc.topology import EHPTopology
 
@@ -233,6 +235,21 @@ class NocSimulator:
 
     # ------------------------------------------------------------------
     def _run(
+        self,
+        srcs: Sequence[str],
+        dsts: Sequence[str],
+        sizes: list[float],
+        times: list[float],
+    ) -> SimResult:
+        with obs_trace.span("noc.run", messages=len(srcs)), \
+                obs_metrics.timed("noc.run_seconds"):
+            result = self._run_messages(srcs, dsts, sizes, times)
+        obs_metrics.inc("noc.runs")
+        obs_metrics.inc("noc.messages", result.delivered)
+        obs_metrics.inc("noc.bytes", int(result.total_bytes))
+        return result
+
+    def _run_messages(
         self,
         srcs: Sequence[str],
         dsts: Sequence[str],

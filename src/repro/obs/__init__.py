@@ -1,0 +1,43 @@
+"""Node-wide observability: metrics registry, span tracing, manifests.
+
+Three pieces, layered from always-on to opt-in:
+
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/timing
+  histograms with mergeable snapshots; cheap enough that the hot layers
+  publish into it unconditionally.
+* :mod:`repro.obs.trace` — ``span()``/``trace()`` context-manager
+  tracing that emits Chrome trace-event JSON (Perfetto-loadable);
+  no-op until a tracer is installed.
+* :mod:`repro.obs.manifest` — one-JSON-per-run manifests combining git
+  revision, engine choices, cache counters, wall times, and the metrics
+  snapshot (imported lazily: it reaches back into the instrumented
+  layers, and eager import would cycle).
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    default_registry,
+)
+from repro.obs.trace import Tracer, active_tracer, span
+
+__all__ = [
+    "metrics",
+    "trace",
+    "manifest",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "default_registry",
+    "Tracer",
+    "active_tracer",
+    "span",
+]
+
+
+def __getattr__(name):
+    if name == "manifest":
+        import importlib
+
+        return importlib.import_module("repro.obs.manifest")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

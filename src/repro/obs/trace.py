@@ -1,0 +1,175 @@
+"""Span tracing with Chrome trace-event output.
+
+A :class:`Tracer` records complete (``"ph": "X"``) events — name,
+category, microsecond timestamp and duration, pid/tid, optional args —
+in the Chrome trace-event JSON format, so a run's timeline opens
+directly in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Tracing is opt-in where metrics are always-on: the instrumented layers
+call the module-level :func:`span`, which is a shared no-op context
+manager until someone installs a tracer with :func:`trace` (the CLI's
+``--trace-out`` does exactly that). The clock is injected — pass any
+zero-argument callable returning seconds — so tests drive spans with a
+fake clock and assert exact timestamps.
+
+Typical use::
+
+    from repro.obs import trace as otrace
+
+    with otrace.trace() as tracer:          # activates a Tracer
+        with otrace.span("dse.explore"):    # recorded
+            ...
+    tracer.write("trace.json")              # open in Perfetto
+
+Instrumented library code only ever calls :func:`span`; it never pays
+more than one module-attribute read when no tracer is active.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, Iterator
+
+__all__ = ["Tracer", "span", "trace", "active_tracer"]
+
+
+class Tracer:
+    """Collects Chrome trace-event dicts.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning seconds. Defaults to
+        ``time.perf_counter``; tests inject a fake for deterministic
+        timestamps. Event timestamps are microseconds relative to the
+        tracer's construction instant.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else perf_counter
+        self._t0 = self._clock()
+        self._lock = threading.Lock()
+        self.events: list[dict] = []
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    @contextmanager
+    def span(self, name: str, cat: str = "repro", **args) -> Iterator[None]:
+        """Record the enclosed block as one complete ("X") event."""
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            end = self._now_us()
+            event = {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": start,
+                "dur": end - start,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+            }
+            if args:
+                event["args"] = args
+            with self._lock:
+                self.events.append(event)
+
+    def instant(self, name: str, cat: str = "repro", **args) -> None:
+        """Record a zero-duration instant ("i") event."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self._now_us(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self.events.append(event)
+
+    def to_chrome(self) -> dict:
+        """The JSON-object form of the Chrome trace-event format."""
+        with self._lock:
+            return {
+                "traceEvents": list(self.events),
+                "displayTimeUnit": "ms",
+            }
+
+    def write(self, path: str) -> None:
+        """Serialize to *path* (compact JSON; loads in Perfetto)."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                self.to_chrome(),
+                fh,
+                separators=(",", ":"),
+                default=str,
+            )
+            fh.write("\n")
+
+
+_active: Tracer | None = None
+
+
+class _NullSpan:
+    """Stateless reusable no-op context manager (the inactive path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def active_tracer() -> Tracer | None:
+    """The currently installed tracer, if any."""
+    return _active
+
+
+def span(name: str, cat: str = "repro", **args):
+    """Span against the active tracer; a shared no-op when none is.
+
+    This is the only call instrumented library code makes, so its
+    inactive cost is one module-attribute read plus returning a
+    singleton.
+    """
+    tracer = _active
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat=cat, **args)
+
+
+@contextmanager
+def trace(
+    clock: Callable[[], float] | None = None,
+    tracer: Tracer | None = None,
+) -> Iterator[Tracer]:
+    """Install a tracer for the enclosed block and yield it.
+
+    Nestable: the previous tracer (if any) is restored on exit, so a
+    library-level ``trace()`` inside a CLI-level one shadows rather
+    than clobbers.
+    """
+    global _active
+    installed = tracer if tracer is not None else Tracer(clock=clock)
+    previous = _active
+    _active = installed
+    try:
+        yield installed
+    finally:
+        _active = previous

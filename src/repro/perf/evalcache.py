@@ -56,6 +56,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.node import NodeEvaluation, NodeModel
+from repro.obs import metrics as _obs_metrics
 from repro.memsys.dramcache import DramCache, DramCacheStats
 from repro.memsys.manager import (
     FirstTouchPolicy,
@@ -95,10 +96,10 @@ _SPILL_MISS = object()
 class CacheStats:
     """Counters exposed by :meth:`EvalCache.stats`."""
 
-    hits: int
-    misses: int
-    entries: int
-    evictions: int
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    evictions: int = 0
     spill_hits: int = 0
 
     @property
@@ -112,6 +113,36 @@ class CacheStats:
         if self.requests == 0:
             return 0.0
         return (self.hits + self.spill_hits) / self.requests
+
+    @property
+    def spill_hit_rate(self) -> float:
+        """On-disk hits over lookups (0.0 when cold or spill-less)."""
+        if self.requests == 0:
+            return 0.0
+        return self.spill_hits / self.requests
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters plus the derived rates (what the run
+        manifest embeds)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "evictions": self.evictions,
+            "spill_hits": self.spill_hits,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+            "spill_hit_rate": self.spill_hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"entries={self.entries}, evictions={self.evictions}, "
+            f"spill_hits={self.spill_hits}, "
+            f"hit_rate={self.hit_rate:.3f}, "
+            f"spill_hit_rate={self.spill_hit_rate:.3f})"
+        )
 
 
 def _digest(text: str) -> str:
@@ -191,7 +222,15 @@ class _KeyedMemo:
         computed value is written back, so later runs pointed at the
         same directory start warm. The in-memory LRU bound does not
         apply to spilled files; :meth:`clear` leaves them on disk.
+
+    Every lookup outcome is also published to the process-wide
+    :mod:`repro.obs.metrics` registry under the class's
+    ``metrics_prefix`` (``cache.eval.hits`` and friends), so DSE sweeps
+    and manifests see cache behaviour without polling each instance.
     """
+
+    metrics_prefix = "cache.keyed"
+    """Registry namespace; subclasses override (``cache.eval`` etc.)."""
 
     def __init__(
         self, maxsize: int | None = None, spill_dir: str | None = None
@@ -206,6 +245,12 @@ class _KeyedMemo:
         self._misses = 0
         self._evictions = 0
         self._spill_hits = 0
+        # Pre-resolved metric names: the lookup fast path must not pay
+        # for string formatting.
+        prefix = self.metrics_prefix
+        self._metric_hits = prefix + ".hits"
+        self._metric_misses = prefix + ".misses"
+        self._metric_spill_hits = prefix + ".spill_hits"
 
     # ------------------------------------------------------------------
     # On-disk spill
@@ -266,6 +311,7 @@ class _KeyedMemo:
             if cached is not None:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                _obs_metrics.inc(self._metric_hits)
                 return cached
         if self.spill_dir is not None:
             loaded = self._spill_load(key)
@@ -273,9 +319,11 @@ class _KeyedMemo:
                 with self._lock:
                     self._spill_hits += 1
                     self._insert_locked(key, loaded)
+                _obs_metrics.inc(self._metric_spill_hits)
                 return loaded
         with self._lock:
             self._misses += 1
+        _obs_metrics.inc(self._metric_misses)
         value = compute()
         if self.spill_dir is not None:
             self._spill_store(key, value)
@@ -310,6 +358,8 @@ class EvalCache(_KeyedMemo):
     The working set is one entry per distinct (profile, grid, model)
     triple, which the full experiment suite keeps in the dozens.
     """
+
+    metrics_prefix = "cache.eval"
 
     # ------------------------------------------------------------------
     def _key(
@@ -433,6 +483,8 @@ class SimCache(_KeyedMemo):
     entries must not alias.
     """
 
+    metrics_prefix = "cache.sim"
+
     def run(
         self,
         trace: MemoryTrace,
@@ -480,6 +532,8 @@ class MemsysCache(_KeyedMemo):
     :class:`SimCache`, both engines are cached independently so the
     oracle harness's deliberate double runs never alias.
     """
+
+    metrics_prefix = "cache.memsys"
 
     def dram_stats(
         self,

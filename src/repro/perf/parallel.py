@@ -20,12 +20,23 @@ Worker processes each hold their own :mod:`repro.perf.evalcache`; the
 serial path shares the parent's default cache, which is what makes
 running every experiment evaluate each (profile, grid, model) triple at
 most once.
+
+Observability crosses the process boundary by value:
+``parallel_explore(..., metrics=True)`` has each worker snapshot its
+own metrics registry around its chunk and ship the delta back, and the
+parent merges the deltas into one
+:class:`~repro.obs.metrics.MetricsSnapshot` — per-worker cache hits and
+misses sum instead of vanishing with the pool.
+:func:`run_experiments` likewise accepts ``metrics_out``/``trace_out``
+paths and writes a run manifest / Chrome trace for the whole fan-out.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -35,6 +46,9 @@ from repro.core.dse import DseResult, _select_optima
 from repro.core.node import NodeModel
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.runner import ExperimentResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsSnapshot
 from repro.perf.evalcache import evaluate_arrays_cached
 from repro.workloads.kernels import KernelProfile
 
@@ -56,6 +70,8 @@ def run_experiments(
     *,
     parallel: bool = True,
     max_workers: int | None = None,
+    metrics_out: str | None = None,
+    trace_out: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run the named experiments, fanned across worker processes.
 
@@ -69,6 +85,15 @@ def run_experiments(
     max_workers:
         Pool size; defaults to ``min(len(names), cpu_count)``. A value
         of 1 short-circuits to the serial path.
+    metrics_out:
+        Optional path; writes a run manifest (git revision, engine
+        choices, cache counters, wall times, metrics snapshot) after
+        the run.
+    trace_out:
+        Optional path; installs a tracer for the run and writes Chrome
+        trace-event JSON (open in Perfetto). Per-experiment spans are
+        recorded on the serial path; the pooled path records one span
+        per fan-out.
 
     Returns a dict ordered by the registry's canonical order — never by
     completion order — so output is deterministic.
@@ -85,16 +110,56 @@ def run_experiments(
     if not ordered:
         return {}
 
+    wall_times: dict[str, float] = {}
+    t_start = time.perf_counter()
+    tracer_cm = obs_trace.trace() if trace_out else nullcontext(None)
+    with tracer_cm as tracer:
+        results = _execute(
+            ordered, parallel, max_workers, wall_times
+        )
+    wall_times["total"] = time.perf_counter() - t_start
+    if trace_out and tracer is not None:
+        tracer.write(trace_out)
+    if metrics_out:
+        from repro.obs import manifest as obs_manifest
+
+        obs_manifest.write_manifest(
+            metrics_out,
+            command=f"run_experiments({', '.join(ordered)})",
+            experiments=ordered,
+            wall_times=wall_times,
+        )
+    return results
+
+
+def _execute(
+    ordered: list[str],
+    parallel: bool,
+    max_workers: int | None,
+    wall_times: dict[str, float],
+) -> dict[str, ExperimentResult]:
+    """The fan-out itself; fills *wall_times* per experiment (serial
+    path) and falls back to serial when the pool cannot spawn."""
     workers = max_workers or _default_workers(len(ordered))
     if parallel and workers > 1 and len(ordered) > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {n: pool.submit(_run_one, n) for n in ordered}
-                return {n: futures[n].result() for n in ordered}
+                with obs_trace.span(
+                    "experiments.pool", experiments=len(ordered),
+                    workers=workers,
+                ):
+                    futures = {n: pool.submit(_run_one, n) for n in ordered}
+                    return {n: futures[n].result() for n in ordered}
         except (OSError, PermissionError):
             # Sandboxes without process spawning fall back to serial.
             pass
-    return {n: _run_one(n) for n in ordered}
+    results: dict[str, ExperimentResult] = {}
+    for name in ordered:
+        t0 = time.perf_counter()
+        with obs_trace.span(f"experiment.{name}"):
+            results[name] = _run_one(name)
+        wall_times[name] = time.perf_counter() - t0
+    return results
 
 
 def run_all_experiments(
@@ -130,6 +195,25 @@ def _eval_chunk(
     )
 
 
+def _eval_chunk_metrics(
+    model: NodeModel,
+    profile: KernelProfile,
+    cus: np.ndarray,
+    freqs: np.ndarray,
+    bws: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, MetricsSnapshot]:
+    """:func:`_eval_chunk` plus the worker's metrics delta.
+
+    The before/after snapshot difference isolates this chunk's activity
+    even though pool workers are long-lived and process many chunks —
+    summing the deltas in the parent equals summing per-worker totals.
+    """
+    registry = obs_metrics.default_registry()
+    before = registry.snapshot()
+    perf, power = _eval_chunk(model, profile, cus, freqs, bws)
+    return perf, power, registry.snapshot().diff(before)
+
+
 def parallel_explore(
     profiles: Sequence[KernelProfile],
     space: DesignSpace | None = None,
@@ -137,13 +221,19 @@ def parallel_explore(
     *,
     n_chunks: int | None = None,
     max_workers: int | None = None,
-) -> DseResult:
+    metrics: bool = False,
+) -> DseResult | tuple[DseResult, MetricsSnapshot]:
     """The full DSE with the grid chunked across worker processes.
 
     Produces a :class:`~repro.core.dse.DseResult` identical to the
     serial :func:`repro.core.dse.explore` (chunks are concatenated in
     grid order before the optima are selected). Worth it for fine grids;
     on the default 1617-point grid the serial sweep is already cheap.
+
+    With ``metrics=True`` the return value is ``(result, snapshot)``:
+    every worker measures its own registry delta per chunk and the
+    parent merges them, so the snapshot's cache hit/miss totals are the
+    sums over all workers (one ``cache.eval`` lookup per chunk task).
     """
     if not profiles:
         raise ValueError("parallel_explore needs at least one profile")
@@ -168,13 +258,14 @@ def parallel_explore(
     tasks = [
         (profile, lo, hi) for profile in profiles for lo, hi in chunks
     ]
-    results: list[tuple[np.ndarray, np.ndarray]]
+    chunk_fn = _eval_chunk_metrics if metrics else _eval_chunk
+    results: list[tuple]
     if workers > 1 and len(tasks) > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
-                        _eval_chunk, model, p, cus[lo:hi], freqs[lo:hi],
+                        chunk_fn, model, p, cus[lo:hi], freqs[lo:hi],
                         bws[lo:hi],
                     )
                     for p, lo, hi in tasks
@@ -182,14 +273,19 @@ def parallel_explore(
                 results = [f.result() for f in futures]
         except (OSError, PermissionError):
             results = [
-                _eval_chunk(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
+                chunk_fn(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
                 for p, lo, hi in tasks
             ]
     else:
         results = [
-            _eval_chunk(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
+            chunk_fn(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
             for p, lo, hi in tasks
         ]
+
+    merged = MetricsSnapshot.empty()
+    if metrics:
+        for row in results:
+            merged = merged.merge(row[2])
 
     performance: dict[str, np.ndarray] = {}
     node_power: dict[str, np.ndarray] = {}
@@ -202,4 +298,7 @@ def parallel_explore(
         performance[profile.name] = perf
         node_power[profile.name] = power
         feasible[profile.name] = power <= space.power_budget
-    return _select_optima(space, performance, node_power, feasible)
+    result = _select_optima(space, performance, node_power, feasible)
+    if metrics:
+        return result, merged
+    return result

@@ -51,6 +51,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sim.cache_sim import CacheLevel, CacheSim
 from repro.sim.engine import Simulator, TupleEventHeap
 from repro.sim.gpu_core import ComputeUnit, Wavefront, mean_utilization
@@ -151,9 +153,17 @@ class ApuSimulator:
         engine = self.engine if engine is None else self._check_engine(engine)
         if len(trace) == 0:
             raise ValueError("empty trace")
-        if engine == "event":
-            return self._run_event(trace)
-        return self._run_array(trace)
+        with obs_trace.span(
+            "apu_sim.run", engine=engine, accesses=len(trace)
+        ), obs_metrics.timed("sim.apu.run_seconds"):
+            if engine == "event":
+                result = self._run_event(trace)
+            else:
+                result = self._run_array(trace)
+        obs_metrics.inc("sim.apu.runs")
+        obs_metrics.inc("sim.apu.trace_rows", len(trace))
+        obs_metrics.inc("sim.apu.dram_accesses", result.dram_accesses)
+        return result
 
     def run_batch(
         self,
@@ -173,10 +183,22 @@ class ApuSimulator:
         for trace in traces:
             if len(trace) == 0:
                 raise ValueError("empty trace")
-        if engine == "event":
-            return [self._run_event(trace) for trace in traces]
-        setup = self._array_setup()
-        return [self._run_array(trace, setup) for trace in traces]
+        total_rows = sum(len(trace) for trace in traces)
+        with obs_trace.span(
+            "apu_sim.run_batch", engine=engine, traces=len(traces),
+            accesses=total_rows,
+        ), obs_metrics.timed("sim.apu.run_seconds"):
+            if engine == "event":
+                results = [self._run_event(trace) for trace in traces]
+            else:
+                setup = self._array_setup()
+                results = [self._run_array(trace, setup) for trace in traces]
+        obs_metrics.inc("sim.apu.runs", len(traces))
+        obs_metrics.inc("sim.apu.trace_rows", total_rows)
+        obs_metrics.inc(
+            "sim.apu.dram_accesses", sum(r.dram_accesses for r in results)
+        )
+        return results
 
     # ------------------------------------------------------------------
     # Event-driven oracle (the original implementation, kept verbatim)

@@ -23,6 +23,8 @@ import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.linalg import splu
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.thermal.stack import LayerStack
 
 __all__ = ["TemperatureField", "ThermalGrid"]
@@ -314,10 +316,15 @@ class ThermalGrid:
                 f"solve expects one power map, got shape {power_maps.shape}; "
                 "use solve_many for batches"
             )
-        factor = self._ensure_factor()
-        _, b_amb = self._system
-        rhs = power_maps.ravel() + b_amb * self.stack.ambient_c
-        return self._field(factor.solve(rhs))
+        with obs_trace.span("thermal.solve", cells=self.n_cells), \
+                obs_metrics.timed("thermal.solve_seconds"):
+            factor = self._ensure_factor()
+            _, b_amb = self._system
+            rhs = power_maps.ravel() + b_amb * self.stack.ambient_c
+            field = self._field(factor.solve(rhs))
+        obs_metrics.inc("thermal.solves")
+        obs_metrics.inc("thermal.solved_maps")
+        return field
 
     def solve_many(self, power_maps_batch: np.ndarray) -> list[TemperatureField]:
         """Solve a whole batch of power maps against one factorization.
@@ -335,9 +342,18 @@ class ThermalGrid:
             )
         if batch.shape[0] == 0:
             return []
-        factor = self._ensure_factor()
-        _, b_amb = self._system
         k = batch.shape[0]
-        rhs = batch.reshape(k, -1).T + (b_amb * self.stack.ambient_c)[:, None]
-        temps = factor.solve(np.ascontiguousarray(rhs))
-        return [self._field(temps[:, col]) for col in range(k)]
+        with obs_trace.span(
+            "thermal.solve_many", cells=self.n_cells, maps=k
+        ), obs_metrics.timed("thermal.solve_seconds"):
+            factor = self._ensure_factor()
+            _, b_amb = self._system
+            rhs = (
+                batch.reshape(k, -1).T
+                + (b_amb * self.stack.ambient_c)[:, None]
+            )
+            temps = factor.solve(np.ascontiguousarray(rhs))
+            fields = [self._field(temps[:, col]) for col in range(k)]
+        obs_metrics.inc("thermal.solves")
+        obs_metrics.inc("thermal.solved_maps", k)
+        return fields

@@ -1,0 +1,77 @@
+"""Compact read/write helpers for pytest-benchmark JSON artifacts.
+
+pytest-benchmark pretty-prints its ``--benchmark-json`` output at
+``indent=4`` — ~45k lines per run for this suite, almost all of it
+per-round raw timing arrays. The repo keeps one artifact per PR
+(``BENCH_pr*.json``), so the format matters: these helpers re-serialize
+with compact separators and prepend a small ``summary`` block (name ->
+mean/stddev/min/rounds) so a human — or ``check_perf.py
+--bench-summary`` — can read the headline numbers without parsing the
+whole document.
+
+:func:`load_summary` accepts both formats: files that carry a
+``summary`` block return it directly; legacy pretty-printed files are
+summarized on the fly from their ``benchmarks`` list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+__all__ = [
+    "SUMMARY_KEY",
+    "summarize",
+    "write_compact",
+    "compact_file",
+    "load_summary",
+]
+
+SUMMARY_KEY = "summary"
+"""Top-level key carrying the per-benchmark digest in compact files."""
+
+
+def summarize(data: Mapping) -> dict:
+    """Per-benchmark digest of a pytest-benchmark JSON document."""
+    out: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        name = bench.get("fullname") or bench.get("name") or "?"
+        out[name] = {
+            "mean_s": stats.get("mean"),
+            "stddev_s": stats.get("stddev"),
+            "min_s": stats.get("min"),
+            "rounds": stats.get("rounds"),
+        }
+    return out
+
+
+def write_compact(path: str, data: Mapping) -> None:
+    """Serialize *data* compactly with a ``summary`` block prepended."""
+    document = {SUMMARY_KEY: summarize(data)}
+    document.update((k, v) for k, v in data.items() if k != SUMMARY_KEY)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.write("\n")
+
+
+def compact_file(path: str) -> dict:
+    """Rewrite *path* in the compact format; returns the summary.
+
+    Idempotent: compacting an already-compact file refreshes its
+    summary and leaves the rest unchanged.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    write_compact(path, data)
+    return summarize(data)
+
+
+def load_summary(path: str) -> dict:
+    """The summary of a benchmark JSON file, either format."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    existing = data.get(SUMMARY_KEY)
+    if isinstance(existing, dict) and existing:
+        return existing
+    return summarize(data)

@@ -44,3 +44,25 @@ class TestCli:
                 continue
             result = fn()
             assert result.rendered, name
+
+    def test_metrics_and_trace_out(self, capsys, tmp_path):
+        manifest_path = tmp_path / "obs" / "manifest.json"
+        trace_path = tmp_path / "obs" / "trace.json"
+        assert main([
+            "fig7",
+            "--metrics-out", str(manifest_path),
+            "--trace-out", str(trace_path),
+        ]) == 0
+        assert "fig7" in capsys.readouterr().out
+
+        import json
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["manifest_version"] >= 1
+        assert manifest["experiments"] == ["fig7"]
+        assert "fig7" in manifest["wall_times_s"]
+        assert "counters" in manifest["metrics"]
+
+        trace = json.loads(trace_path.read_text())
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "experiment.fig7" in names

@@ -1,0 +1,454 @@
+"""Tests for the observability layer (:mod:`repro.obs`).
+
+Covers the metrics registry (counters, gauges, histograms, snapshot
+merge/diff algebra, the disabled fast path), the span tracer with an
+injected fake clock (deterministic Chrome trace-event output), the run
+manifest, cache-stat ergonomics, the benchmark-JSON compaction helpers,
+and the acceptance criterion that ``parallel_explore(metrics=True)``
+returns a merged snapshot whose cache totals equal the sum of the
+per-worker snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.trace import Tracer
+from repro.perf.evalcache import CacheStats
+from repro.util import benchjson
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        snap = reg.snapshot()
+        assert snap.counter("a") == 5
+        assert snap.counter("missing") == 0
+
+    def test_gauges_last_value_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("temp", 1.5)
+        reg.set_gauge("temp", 2.5)
+        assert reg.snapshot().gauges["temp"] == 2.5
+
+    def test_histogram_buckets_and_stats(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 2e-6)   # second bucket (> 1e-6)
+        reg.observe("lat", 0.5)
+        reg.observe("lat", 1e9)    # beyond the last bound -> overflow
+        hist = reg.snapshot().histograms["lat"]
+        assert hist.count == 3
+        assert hist.total == pytest.approx(2e-6 + 0.5 + 1e9)
+        assert sum(hist.counts) == 3
+        assert len(hist.counts) == len(DEFAULT_BUCKETS) + 1
+        assert hist.counts[-1] == 1  # the 1e9 overflow observation
+        assert hist.mean == pytest.approx(hist.total / 3)
+
+    def test_timed_records_a_duration(self):
+        ticks = iter([10.0, 10.25])
+        reg = MetricsRegistry(clock=lambda: next(ticks))
+        with reg.timed("step_seconds"):
+            pass
+        hist = reg.snapshot().histograms["step_seconds"]
+        assert hist.count == 1
+        assert hist.total == pytest.approx(0.25)
+
+    def test_clear_resets_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.1)
+        reg.clear()
+        snap = reg.snapshot()
+        assert not snap.counters and not snap.gauges and not snap.histograms
+
+
+class TestSnapshotAlgebra:
+    def test_merge_sums_counters_and_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.inc("hits", 2)
+        b.inc("hits", 3)
+        b.inc("misses", 1)
+        a.observe("lat", 0.01)
+        b.observe("lat", 0.01)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counter("hits") == 5
+        assert merged.counter("misses") == 1
+        assert merged.histograms["lat"].count == 2
+
+    def test_merge_gauges_take_the_other_side(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        assert a.snapshot().merge(b.snapshot()).gauges["g"] == 9.0
+
+    def test_diff_isolates_activity_between_snapshots(self):
+        reg = MetricsRegistry()
+        reg.inc("work", 10)
+        before = reg.snapshot()
+        reg.inc("work", 7)
+        reg.inc("other")
+        delta = reg.snapshot().diff(before)
+        assert delta.counter("work") == 7
+        assert delta.counter("other") == 1
+
+    def test_diff_drops_unchanged_counters(self):
+        reg = MetricsRegistry()
+        reg.inc("idle", 3)
+        before = reg.snapshot()
+        reg.inc("busy")
+        delta = reg.snapshot().diff(before)
+        assert "idle" not in delta.counters
+
+    def test_empty_is_a_merge_identity(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 4)
+        reg.observe("h", 0.2)
+        snap = reg.snapshot()
+        merged = MetricsSnapshot.empty().merge(snap)
+        assert merged.counters == snap.counters
+        assert merged.histograms["h"].counts == snap.histograms["h"].counts
+
+    def test_as_dict_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 1.25)
+        reg.observe("h", 0.3)
+        text = json.dumps(reg.snapshot().as_dict())
+        data = json.loads(text)
+        assert data["counters"]["c"] == 2
+        assert data["histograms"]["h"]["count"] == 1
+
+
+class TestModuleFastPath:
+    def test_disabled_is_a_no_op(self):
+        reg = obs_metrics.default_registry()
+        before = reg.snapshot()
+        with obs_metrics.disabled():
+            obs_metrics.inc("should.not.exist", 100)
+            obs_metrics.observe("nor.this", 1.0)
+            with obs_metrics.timed("nor.this.timer"):
+                pass
+        after = reg.snapshot().diff(before)
+        assert after.counter("should.not.exist") == 0
+        assert "nor.this" not in after.histograms
+
+    def test_enabled_flag_restored_after_disabled_block(self):
+        assert obs_metrics.metrics_enabled()
+        with obs_metrics.disabled():
+            assert not obs_metrics.metrics_enabled()
+        assert obs_metrics.metrics_enabled()
+
+    def test_module_inc_reaches_default_registry(self):
+        before = obs_metrics.snapshot()
+        obs_metrics.inc("test.fastpath.counter", 2)
+        delta = obs_metrics.snapshot().diff(before)
+        assert delta.counter("test.fastpath.counter") == 2
+
+
+# ----------------------------------------------------------------------
+# Tracer (injected fake clock -> fully deterministic output)
+# ----------------------------------------------------------------------
+class FakeClock:
+    """A clock advancing 1 ms per reading, starting at t=1.0 s."""
+
+    def __init__(self, start: float = 1.0, step: float = 1e-3):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_span_ts_and_dur_are_deterministic(self):
+        tracer = Tracer(clock=FakeClock())
+        # clock readings: t0=1.000, enter=1.001, exit=1.002
+        with tracer.span("work"):
+            pass
+        (event,) = tracer.events
+        assert event["ts"] == pytest.approx(1000.0)   # us since t0
+        assert event["dur"] == pytest.approx(1000.0)  # 1 ms span
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+
+    def test_nested_spans_record_inner_before_outer(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [e["name"] for e in tracer.events]
+        assert names == ["inner", "outer"]
+        outer = tracer.events[1]
+        inner = tracer.events[0]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_span_args_are_recorded(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("run", cat="sim", engine="array", accesses=10):
+            pass
+        (event,) = tracer.events
+        assert event["cat"] == "sim"
+        assert event["args"] == {"engine": "array", "accesses": 10}
+
+    def test_chrome_trace_event_schema(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        tracer.instant("marker")
+        doc = tracer.to_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+        for event in doc["traceEvents"]:
+            assert isinstance(event["name"], str)
+            assert event["ph"] in {"X", "i"}
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["dur"], (int, float))
+                assert event["dur"] >= 0
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("persisted"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["traceEvents"][0]["name"] == "persisted"
+
+    def test_module_span_is_noop_without_active_tracer(self):
+        assert obs_trace.active_tracer() is None
+        with obs_trace.span("ignored"):
+            pass  # must not raise, must not record anywhere
+
+    def test_trace_installs_and_restores_active_tracer(self):
+        with obs_trace.trace(clock=FakeClock()) as tracer:
+            assert obs_trace.active_tracer() is tracer
+            with obs_trace.span("seen"):
+                pass
+        assert obs_trace.active_tracer() is None
+        assert [e["name"] for e in tracer.events] == ["seen"]
+
+    def test_trace_nesting_restores_the_outer_tracer(self):
+        with obs_trace.trace(clock=FakeClock()) as outer:
+            with obs_trace.trace(clock=FakeClock()) as inner:
+                assert obs_trace.active_tracer() is inner
+            assert obs_trace.active_tracer() is outer
+
+
+# ----------------------------------------------------------------------
+# CacheStats ergonomics
+# ----------------------------------------------------------------------
+class TestCacheStats:
+    def test_rates(self):
+        stats = CacheStats(hits=6, misses=2, spill_hits=2)
+        assert stats.requests == 10
+        # hit_rate counts both in-memory and spill hits over lookups.
+        assert stats.hit_rate == pytest.approx(0.8)
+        assert stats.spill_hit_rate == pytest.approx(0.2)
+
+    def test_zero_requests_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.requests == 0
+        assert stats.hit_rate == 0.0
+        assert stats.spill_hit_rate == 0.0
+
+    def test_as_dict(self):
+        stats = CacheStats(hits=3, misses=1)
+        data = stats.as_dict()
+        assert data["hits"] == 3
+        assert data["requests"] == 4
+        assert data["hit_rate"] == pytest.approx(0.75)
+        assert data["spill_hit_rate"] == 0.0
+        json.dumps(data)  # JSON-serializable by construction
+
+    def test_repr_is_readable(self):
+        text = repr(CacheStats(hits=1, misses=3))
+        assert "hits=1" in text
+        assert "hit_rate=0.250" in text
+
+
+# ----------------------------------------------------------------------
+# Instrumentation: subsystems publish to the default registry
+# ----------------------------------------------------------------------
+class TestInstrumentation:
+    def test_apu_sim_counters(self):
+        from repro.sim.apu_sim import ApuSimulator
+        from repro.workloads.calibration import default_calibration_trace
+
+        trace = default_calibration_trace(n_accesses=500)
+        before = obs_metrics.snapshot()
+        ApuSimulator().run(trace)
+        delta = obs_metrics.snapshot().diff(before)
+        assert delta.counter("sim.apu.runs") == 1
+        assert delta.counter("sim.apu.trace_rows") == 500
+        assert "sim.apu.run_seconds" in delta.histograms
+
+    def test_cache_memo_publishes_hits_and_misses(self):
+        from repro.core.node import NodeModel
+        from repro.perf.evalcache import EvalCache
+        from repro.workloads.catalog import get_application
+
+        cache = EvalCache()
+        model = NodeModel()
+        profile = get_application("CoMD")
+        cus = np.array([64.0])
+        freqs = np.array([1.0])
+        bws = np.array([1.0])
+        before = obs_metrics.snapshot()
+        cache.evaluate_arrays(model, profile, cus, freqs, bws)
+        cache.evaluate_arrays(model, profile, cus, freqs, bws)
+        delta = obs_metrics.snapshot().diff(before)
+        assert delta.counter("cache.eval.misses") == 1
+        assert delta.counter("cache.eval.hits") == 1
+
+    def test_dse_explore_counters(self):
+        from repro.core.dse import explore
+        from repro.workloads.catalog import get_application
+
+        before = obs_metrics.snapshot()
+        explore([get_application("CoMD")], cache=False)
+        delta = obs_metrics.snapshot().diff(before)
+        assert delta.counter("dse.explores") == 1
+        assert delta.counter("dse.grid_points") > 0
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_build_manifest_structure(self):
+        from repro.obs import manifest as obs_manifest
+
+        doc = obs_manifest.build_manifest(
+            command="test", experiments=["fig7"],
+            wall_times={"fig7": 0.5}, clock=lambda: 1234.0,
+        )
+        assert doc["manifest_version"] == obs_manifest.MANIFEST_VERSION
+        assert doc["created_unix"] == 1234.0
+        assert doc["command"] == "test"
+        assert doc["experiments"] == ["fig7"]
+        assert doc["wall_times_s"] == {"fig7": 0.5}
+        assert "sim.apu_sim" in doc["engines"]
+        assert doc["engines"]["sim.apu_sim"]["default"] == "array"
+        assert "eval" in doc["caches"]
+        assert "hit_rate" in doc["caches"]["eval"]
+        assert "counters" in doc["metrics"]
+
+    def test_write_manifest_creates_dirs_and_valid_json(self, tmp_path):
+        from repro.obs import manifest as obs_manifest
+
+        path = tmp_path / "sub" / "manifest.json"
+        obs_manifest.write_manifest(
+            str(path), command="t", experiments=[], wall_times={},
+        )
+        data = json.loads(path.read_text())
+        assert data["manifest_version"] >= 1
+        assert data["python"]
+
+
+# ----------------------------------------------------------------------
+# parallel_explore(metrics=True): the acceptance criterion
+# ----------------------------------------------------------------------
+class TestParallelMetrics:
+    def test_merged_totals_equal_sum_of_worker_snapshots(self):
+        from repro.perf.parallel import parallel_explore
+        from repro.workloads.catalog import get_application
+
+        profiles = [get_application("CoMD"), get_application("HPGMG")]
+        n_chunks = 3
+        result, snap = parallel_explore(
+            profiles, n_chunks=n_chunks, max_workers=2, metrics=True
+        )
+        # One cache.eval lookup per (profile, chunk) task; fresh worker
+        # caches mean every lookup is a hit or a miss, never dropped.
+        tasks = len(profiles) * n_chunks
+        total = snap.counter("cache.eval.hits") + snap.counter(
+            "cache.eval.misses"
+        )
+        assert total == tasks
+        assert result.best_mean_index >= 0
+
+    def test_metrics_false_returns_bare_result(self):
+        from repro.core.dse import DseResult
+        from repro.perf.parallel import parallel_explore
+        from repro.workloads.catalog import get_application
+
+        result = parallel_explore(
+            [get_application("CoMD")], n_chunks=2, max_workers=1
+        )
+        assert isinstance(result, DseResult)
+
+
+# ----------------------------------------------------------------------
+# Benchmark-JSON compaction helpers
+# ----------------------------------------------------------------------
+SAMPLE_BENCH = {
+    "machine_info": {"cpu": "x"},
+    "benchmarks": [
+        {
+            "fullname": "benchmarks/test_a.py::test_a",
+            "stats": {
+                "mean": 0.01, "stddev": 0.001, "min": 0.009, "rounds": 5,
+                "data": [0.009, 0.01, 0.011, 0.01, 0.01],
+            },
+        }
+    ],
+}
+
+
+class TestBenchJson:
+    def test_summarize(self):
+        summary = benchjson.summarize(SAMPLE_BENCH)
+        entry = summary["benchmarks/test_a.py::test_a"]
+        assert entry["mean_s"] == 0.01
+        assert entry["rounds"] == 5
+
+    def test_compact_file_and_load_summary(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(SAMPLE_BENCH, indent=4))
+        assert len(path.read_text().splitlines()) > 10  # legacy pretty
+        benchjson.compact_file(str(path))
+        text = path.read_text()
+        assert len(text.splitlines()) == 1  # compact
+        data = json.loads(text)
+        assert benchjson.SUMMARY_KEY in data
+        assert data["benchmarks"] == SAMPLE_BENCH["benchmarks"]
+        summary = benchjson.load_summary(str(path))
+        assert summary["benchmarks/test_a.py::test_a"]["mean_s"] == 0.01
+
+    def test_load_summary_legacy_pretty_format(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(SAMPLE_BENCH, indent=4))
+        summary = benchjson.load_summary(str(path))
+        assert summary["benchmarks/test_a.py::test_a"]["rounds"] == 5
+
+    def test_compact_is_idempotent(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(SAMPLE_BENCH))
+        benchjson.compact_file(str(path))
+        first = path.read_text()
+        benchjson.compact_file(str(path))
+        assert path.read_text() == first

@@ -12,12 +12,19 @@ replicated below) and asserts the speedup ratios the layer promises:
 * the APU simulator's array engine >= 5x over the event-driven oracle
   on the default calibration trace,
 * the memsys array engines (row buffer + DRAM-cache capacity sweep +
-  page-migration epochs) >= 5x combined over the scalar oracles on the
-  50k-address miss-sensitivity stream,
+  page-migration epochs) >= 5x combined over the seed scalar references
+  on the 50k-address miss-sensitivity stream (the manager's seed — the
+  quadratic re-sort-per-eviction loop — is kept in-repo below, since
+  the shipped scalar oracle now evicts via an incremental heap),
 * a warm MemsysCache replay of that same sweep >= 5x over the cold run
   (the ROADMAP's cold-vs-warm evaluation-cache ratio),
 * the always-on observability layer costs <= 5% on the APU simulator
   (instrumented run vs the same run under ``obs.metrics.disabled()``),
+* a warm repeat DSE sweep on a reused ``ShardedPool`` >= 5x over the
+  cold spawn-a-pool-per-call baseline, with zero cross-worker
+  recomputation of warm cache keys and bit-identical results to the
+  serial ``core.dse.explore`` (affinity and round-robin policies, and
+  after a simulated worker death/restart),
 
 plus numerical agreement (1e-9) between fast and reference paths.
 
@@ -84,6 +91,55 @@ def seed_thermal_solve(grid: ThermalGrid, maps: np.ndarray) -> np.ndarray:
     matrix, b_amb = grid._seed_system
     rhs = maps.ravel() + b_amb * grid.stack.ambient_c
     return spsolve(matrix, rhs)
+
+
+class SeedResortHotnessPolicy(HotnessMigrationPolicy):
+    """The seed eviction loop: re-sort the candidate set per eviction.
+
+    PR 5 replaced this with an incremental heap inside
+    :class:`HotnessMigrationPolicy` (same victims, same (count, page)
+    tie-break — equivalence is unit-tested); this subclass keeps the
+    quadratic original as the benchmark reference. Being a subclass, it
+    also forces ``MemoryManager.epoch_array`` onto the scalar fallback,
+    so the "event" side of the memsys check runs the true seed path.
+    """
+
+    def place(self, access_counts, current, capacity_pages):
+        from repro.memsys.manager import MemoryLevel, PagePlacement
+
+        ranked = sorted(
+            access_counts, key=lambda p: access_counts[p], reverse=True
+        )
+        want_in = set(ranked[:capacity_pages])
+        placement = dict(current)
+        for page in access_counts:
+            placement.setdefault(page, MemoryLevel.EXTERNAL)
+        to_promote = [
+            p
+            for p in ranked[:capacity_pages]
+            if placement.get(p) is not MemoryLevel.IN_PACKAGE
+        ]
+        if self.migration_limit is not None:
+            to_promote = to_promote[: self.migration_limit]
+        resident = {
+            p for p, lvl in placement.items() if lvl is MemoryLevel.IN_PACKAGE
+        }
+        migrated = 0
+        for page in to_promote:
+            if len(resident) >= capacity_pages:
+                evictable = sorted(
+                    (p for p in resident if p not in want_in),
+                    key=lambda p: (access_counts.get(p, 0), p),
+                )
+                if not evictable:
+                    break
+                victim = evictable[0]
+                placement[victim] = MemoryLevel.EXTERNAL
+                resident.discard(victim)
+            placement[page] = MemoryLevel.IN_PACKAGE
+            resident.add(page)
+            migrated += 1
+        return PagePlacement(level_of_page=placement, migrated_pages=migrated)
 
 
 def seed_noc_run(sim: NocSimulator, messages: list[SimMessage]):
@@ -267,9 +323,16 @@ def check_memsys(quick: bool) -> list[str]:
             cache = DramCache(capacity, 4096, 8, engine=engine)
             cache.run_trace(addrs, writes)
             dram.append(astuple(cache.stats))
-        manager = MemoryManager(
-            manager_capacity, HotnessMigrationPolicy(), 4096, engine=engine
+        # The "event" side drives the seed's quadratic re-sort-per-
+        # eviction policy: the shipped scalar oracle now uses an
+        # incremental heap (PR 5), so the seed-equivalent reference
+        # lives here like the thermal/NoC ones do.
+        policy = (
+            SeedResortHotnessPolicy()
+            if engine == "event"
+            else HotnessMigrationPolicy()
         )
+        manager = MemoryManager(manager_capacity, policy, 4096, engine=engine)
         fractions = manager.run_batch(epochs)
         return astuple(rb.stats), dram, fractions
 
@@ -412,6 +475,132 @@ def check_obs_overhead(quick: bool) -> list[str]:
     return failures
 
 
+def check_pool_affinity(quick: bool) -> list[str]:
+    """The persistent sharded pool's cache-affinity promise.
+
+    A warm repeat sweep on a reused :class:`ShardedPool` must beat the
+    cold spawn-per-call baseline >= 5x, recompute zero warm cache keys
+    (merged worker ``cache.eval`` deltas: no misses, one hit per chunk
+    task), and stay bit-identical to the serial DSE — cold, warm, under
+    the round-robin policy, and after a worker is killed and respawned.
+    """
+    from repro.core.config import DesignSpace
+    from repro.core.dse import explore
+    from repro.perf.evalcache import clear_cache
+    from repro.perf.parallel import parallel_explore
+    from repro.perf.pool import ShardedPool
+    from repro.workloads.catalog import application_names, get_application
+
+    n_shards, n_chunks = 2, 4
+    if quick:
+        names = ["MaxFlops", "CoMD", "MiniAMR", "SNAP"]
+        frequencies = tuple(700e6 + 10e6 * k for k in range(81))
+    else:
+        names = application_names()
+        frequencies = tuple(700e6 + 5e6 * k for k in range(161))
+    space = DesignSpace(
+        cu_counts=tuple(range(192, 385, 4)),
+        frequencies=frequencies,
+        bandwidths=tuple(1e12 + 0.25e12 * k for k in range(25)),
+    )
+    profiles = [get_application(n) for n in names]
+    n_tasks = len(profiles) * n_chunks
+
+    serial = explore(profiles, space, cache=False)
+
+    def matches_serial(result) -> bool:
+        return (
+            result.best_mean_index == serial.best_mean_index
+            and dict(result.per_app_best_index)
+            == dict(serial.per_app_best_index)
+            and all(
+                np.array_equal(result.performance[n], serial.performance[n])
+                and np.array_equal(result.node_power[n], serial.node_power[n])
+                for n in names
+            )
+        )
+
+    # Cold baseline: what every sweep pays without a persistent pool —
+    # spawn workers, compute everything, tear the pool down. The parent
+    # caches are cleared first: forked workers inherit the parent's
+    # memory, so a warm parent would leak warmth into the "cold" pool.
+    clear_cache()
+    t0 = time.perf_counter()
+    with ShardedPool(n_shards) as cold_pool:
+        cold_result = parallel_explore(
+            profiles, space, n_chunks=n_chunks, pool=cold_pool
+        )
+    t_cold = time.perf_counter() - t0
+
+    # Persistent pool: the first sweep warms each worker's own shard;
+    # repeat sweeps must be pure cache traffic. batch_size covers each
+    # worker's whole queue in one dispatch, so no task is stolen onto a
+    # worker that never owned its cache entries.
+    clear_cache()
+    pool = ShardedPool(n_shards, batch_size=n_tasks)
+    try:
+        first_result = parallel_explore(
+            profiles, space, n_chunks=n_chunks, pool=pool
+        )
+        t_warm = float("inf")
+        snap = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            warm_result, warm_snap = parallel_explore(
+                profiles, space, n_chunks=n_chunks, pool=pool, metrics=True
+            )
+            elapsed = time.perf_counter() - t0
+            if elapsed < t_warm:
+                t_warm, snap = elapsed, warm_snap
+        ratio = t_cold / t_warm
+        misses = snap.counter("cache.eval.misses")
+        hits = snap.counter("cache.eval.hits")
+
+        restarts_before = pool.stats().worker_restarts
+        pool.kill_worker(0)
+        killed_result = parallel_explore(
+            profiles, space, n_chunks=n_chunks, pool=pool
+        )
+        restarts_after = pool.stats().worker_restarts
+    finally:
+        pool.shutdown()
+
+    with ShardedPool(n_shards, policy="roundrobin") as rr_pool:
+        rr_result = parallel_explore(
+            profiles, space, n_chunks=n_chunks, pool=rr_pool
+        )
+
+    identical = all(
+        matches_serial(r)
+        for r in (cold_result, first_result, warm_result, killed_result,
+                  rr_result)
+    )
+    print(f"pool affinity {len(profiles)} profiles x {space.size // 1000}k "
+          f"points: cold per-call pool {t_cold * 1e3:.0f} ms vs warm reused "
+          f"{t_warm * 1e3:.0f} ms -> {ratio:.1f}x (warm misses {misses}, "
+          f"hits {hits}/{n_tasks}, identical to serial: {identical})")
+
+    failures = []
+    if not identical:
+        failures.append("pooled DSE diverged from the serial explore")
+    if ratio < 5.0:
+        failures.append(f"pool warm-vs-cold speedup {ratio:.1f}x < 5x")
+    if misses != 0:
+        failures.append(
+            f"warm sweep recomputed {misses} cache keys across workers"
+        )
+    if hits != n_tasks:
+        failures.append(
+            f"warm sweep saw {hits} cache.eval hits, expected {n_tasks}"
+        )
+    if restarts_after != restarts_before + 1:
+        failures.append(
+            f"worker kill produced {restarts_after - restarts_before} "
+            f"restarts, expected 1"
+        )
+    return failures
+
+
 CHECKS = (
     ("thermal", check_thermal),
     ("noc", check_noc),
@@ -419,6 +608,7 @@ CHECKS = (
     ("memsys", check_memsys),
     ("memsys_cache", check_memsys_cache),
     ("obs_overhead", check_obs_overhead),
+    ("pool_affinity", check_pool_affinity),
 )
 
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig8 table2        # run selected artifacts
     python -m repro all                 # run everything
     python -m repro all --jobs 4        # ... across 4 worker processes
+    python -m repro all --pool-shards 4 # ... on a persistent sharded
+                                        # worker pool (cache affinity)
     python -m repro all --metrics-out manifest.json --trace-out trace.json
                                         # ... plus a run manifest and a
                                         # Perfetto-loadable span trace
@@ -41,6 +43,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "worker processes to fan the experiments across "
             "(default 1: serial in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-shards",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "run the experiments on a persistent sharded worker pool "
+            "with N shard-affine workers (cache-affinity scheduling) "
+            "instead of a throwaway process pool; overrides --jobs"
         ),
     )
     parser.add_argument(
@@ -80,7 +93,19 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    if args.jobs > 1 or args.metrics_out or args.trace_out:
+    if args.pool_shards > 0:
+        from repro.perf.parallel import run_experiments
+        from repro.perf.pool import ShardedPool
+
+        with ShardedPool(args.pool_shards) as pool:
+            results = run_experiments(
+                names,
+                parallel=True,
+                pool=pool,
+                metrics_out=args.metrics_out,
+                trace_out=args.trace_out,
+            )
+    elif args.jobs > 1 or args.metrics_out or args.trace_out:
         from repro.perf.parallel import run_experiments
 
         results = run_experiments(

@@ -36,6 +36,7 @@ Two interchangeable engines drive the epoch loop:
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
 from typing import Mapping, Protocol
 
@@ -163,19 +164,28 @@ class HotnessMigrationPolicy:
             p for p, lvl in placement.items() if lvl is MemoryLevel.IN_PACKAGE
         }
         migrated = 0
+        # Evictions pop the coldest resident page not in the wanted set,
+        # ties broken on the page number so the choice does not depend
+        # on set iteration order (keeps this oracle bit-identical to the
+        # vectorized engine). The candidate set never grows during the
+        # promote loop — promotions only add wanted pages, which are
+        # excluded — and only shrinks by the popped victims, so one heap
+        # built at the first eviction yields exactly the page a fresh
+        # sort would have picked each iteration, without re-sorting the
+        # whole resident set per eviction.
+        evict_heap: list[tuple[int, int]] | None = None
         for page in to_promote:
             if len(resident) >= capacity_pages:
-                # Evict the coldest resident page not in the wanted set.
-                # Ties break on the page number so the choice does not
-                # depend on set iteration order (keeps this oracle
-                # bit-identical to the vectorized engine).
-                evictable = sorted(
-                    (p for p in resident if p not in want_in),
-                    key=lambda p: (access_counts.get(p, 0), p),
-                )
-                if not evictable:
+                if evict_heap is None:
+                    evict_heap = [
+                        (access_counts.get(p, 0), p)
+                        for p in resident
+                        if p not in want_in
+                    ]
+                    heapq.heapify(evict_heap)
+                if not evict_heap:
                     break
-                victim = evictable[0]
+                _, victim = heapq.heappop(evict_heap)
                 placement[victim] = MemoryLevel.EXTERNAL
                 resident.discard(victim)
             placement[page] = MemoryLevel.IN_PACKAGE

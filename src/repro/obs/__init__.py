@@ -12,9 +12,11 @@ Three pieces, layered from always-on to opt-in:
   revision, engine choices, cache counters, wall times, and the metrics
   snapshot (imported lazily: it reaches back into the instrumented
   layers, and eager import would cycle).
+* :mod:`repro.obs.proc` — process-memory readings (RSS and peak RSS)
+  published as gauges, per run manifest and per pool worker.
 """
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, proc, trace
 from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -24,6 +26,7 @@ from repro.obs.trace import Tracer, active_tracer, span
 
 __all__ = [
     "metrics",
+    "proc",
     "trace",
     "manifest",
     "MetricsRegistry",

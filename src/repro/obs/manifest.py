@@ -105,9 +105,14 @@ def build_manifest(
     import numpy as np
 
     from repro.core.node import NodeModel
+    from repro.obs.proc import publish_memory_gauges
     from repro.perf.evalcache import fingerprint_model
 
     registry = registry if registry is not None else _metrics.default_registry()
+    # Stamp the parent's memory footprint right before the snapshot so
+    # every manifest carries proc.rss_bytes / proc.peak_rss_bytes
+    # alongside any pool.worker<N>.* gauges the workers reported.
+    publish_memory_gauges(registry)
     return {
         "manifest_version": MANIFEST_VERSION,
         "created_unix": float(clock()),

@@ -96,6 +96,18 @@ class Tracer:
         with self._lock:
             self.events.append(event)
 
+    def extend(self, events: list[dict]) -> None:
+        """Append foreign trace events (e.g. shipped back from a worker
+        process by the sharded pool).
+
+        Events are taken as-is: each already carries its own ``pid``, so
+        Perfetto renders them as separate process tracks. Timestamps are
+        relative to the *originating* tracer's construction instant —
+        per-track timelines are exact, cross-process alignment is not.
+        """
+        with self._lock:
+            self.events.extend(events)
+
     def to_chrome(self) -> dict:
         """The JSON-object form of the Chrome trace-event format."""
         with self._lock:

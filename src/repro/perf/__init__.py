@@ -5,8 +5,13 @@
   :meth:`repro.sim.apu_sim.ApuSimulator.run`, so every (profile, design
   grid, model) combination and every (sim config, trace, engine)
   simulation is computed once no matter how many drivers ask for it.
+* :mod:`repro.perf.pool` — a persistent :class:`ShardedPool` of worker
+  processes with cache-affinity scheduling: workers are spawned once
+  and reused across sweeps, and stable shard routing keeps each
+  worker's warm cache entries owned by that worker.
 * :mod:`repro.perf.parallel` — a process-pool experiment runner and a
-  chunked parallel design-space exploration.
+  chunked parallel design-space exploration, both of which accept a
+  ``pool=`` :class:`ShardedPool` to reuse.
 
 ``repro.perf.parallel`` is intentionally *not* imported here: it pulls
 in the experiment drivers (and through them :mod:`repro.core.dse`,
@@ -14,6 +19,9 @@ which itself uses the cache), so importing it from the package root
 would create an import cycle. Import it explicitly::
 
     from repro.perf.parallel import run_all_experiments
+
+:mod:`repro.perf.pool` depends only on the observability layer, so its
+names are re-exported here.
 """
 
 from repro.perf.evalcache import (
@@ -27,10 +35,21 @@ from repro.perf.evalcache import (
     evaluate_arrays_cached,
     simulate_trace_cached,
 )
+from repro.perf.pool import (
+    POLICIES,
+    PoolStats,
+    PoolTask,
+    ShardedPool,
+    stable_shard,
+)
 
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "POLICIES",
+    "PoolStats",
+    "PoolTask",
+    "ShardedPool",
     "SimCache",
     "cache_stats",
     "clear_cache",
@@ -38,4 +57,5 @@ __all__ = [
     "default_sim_cache",
     "evaluate_arrays_cached",
     "simulate_trace_cached",
+    "stable_shard",
 ]

@@ -3,18 +3,34 @@
 Two fan-outs live here:
 
 * :func:`run_all_experiments` — run any subset of the registered
-  figure/table drivers across a ``ProcessPoolExecutor``. The drivers
-  are independent of each other, so the suite's wall-clock collapses to
+  figure/table drivers across worker processes. The drivers are
+  independent of each other, so the suite's wall-clock collapses to
   roughly its slowest member. Results come back keyed and ordered by
   the registry's canonical order regardless of completion order, and a
   serial fallback (``parallel=False``, a failed pool spawn, or a
   single-worker environment) produces byte-identical results through
   the same code path workers use.
 * :func:`parallel_explore` — the design-space exploration with the
-  grid split into chunks evaluated across the pool, for fine grids
+  grid split into chunks evaluated across workers, for fine grids
   (hundreds of thousands of points) where a single serial sweep is the
   bottleneck. Chunk results are concatenated in order, so the outcome
   is identical to :func:`repro.core.dse.explore`.
+
+Both accept ``pool=`` — a long-lived
+:class:`~repro.perf.pool.ShardedPool` whose workers persist across
+calls. Chunk tasks carry a ``shard_key`` of ``(profile fingerprint,
+chunk index)``, so the pool's affinity policy sends the same chunk to
+the same worker every sweep and that worker's warm
+:mod:`repro.perf.evalcache` entries are never recomputed elsewhere.
+Without a pool, each call spawns (and tears down) a fresh
+``ProcessPoolExecutor`` as before.
+
+Task payloads stay small: a chunk is described by ``(model, profile,
+space, lo, hi)`` and each worker rebuilds the grid arrays from the
+:class:`~repro.core.config.DesignSpace` locally (memoized per space),
+rather than shipping megabytes of meshgrid slices per task.
+``DesignSpace.grid_arrays`` is a deterministic meshgrid, so the rebuilt
+slices are bit-identical to the parent's.
 
 Worker processes each hold their own :mod:`repro.perf.evalcache`; the
 serial path shares the parent's default cache, which is what makes
@@ -28,16 +44,19 @@ parent merges the deltas into one
 :class:`~repro.obs.metrics.MetricsSnapshot` — per-worker cache hits and
 misses sum instead of vanishing with the pool.
 :func:`run_experiments` likewise accepts ``metrics_out``/``trace_out``
-paths and writes a run manifest / Chrome trace for the whole fan-out.
+paths and writes a run manifest / Chrome trace for the whole fan-out;
+on the pooled path each task additionally runs under a worker-side span
+that is merged back into the parent's trace.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -49,7 +68,12 @@ from repro.experiments.runner import ExperimentResult
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsSnapshot
-from repro.perf.evalcache import evaluate_arrays_cached
+from repro.perf.evalcache import (
+    evaluate_arrays_cached,
+    fingerprint_model,
+    fingerprint_profile,
+)
+from repro.perf.pool import PoolTask, ShardedPool
 from repro.workloads.kernels import KernelProfile
 
 __all__ = ["run_all_experiments", "run_experiments", "parallel_explore"]
@@ -70,6 +94,7 @@ def run_experiments(
     *,
     parallel: bool = True,
     max_workers: int | None = None,
+    pool: ShardedPool | None = None,
     metrics_out: str | None = None,
     trace_out: str | None = None,
 ) -> dict[str, ExperimentResult]:
@@ -84,7 +109,13 @@ def run_experiments(
         automatic fallback if the process pool cannot be spawned).
     max_workers:
         Pool size; defaults to ``min(len(names), cpu_count)``. A value
-        of 1 short-circuits to the serial path.
+        of 1 short-circuits to the serial path. Ignored when *pool* is
+        given.
+    pool:
+        A persistent :class:`~repro.perf.pool.ShardedPool` to reuse
+        instead of spawning a throwaway executor; each experiment is
+        routed by ``shard_key=("experiment", name)``, so repeated runs
+        keep hitting the same warmed worker.
     metrics_out:
         Optional path; writes a run manifest (git revision, engine
         choices, cache counters, wall times, metrics snapshot) after
@@ -92,8 +123,9 @@ def run_experiments(
     trace_out:
         Optional path; installs a tracer for the run and writes Chrome
         trace-event JSON (open in Perfetto). Per-experiment spans are
-        recorded on the serial path; the pooled path records one span
-        per fan-out.
+        recorded on the serial and sharded-pool paths (pooled spans are
+        buffered worker-side and merged back); the executor path
+        records one span per fan-out.
 
     Returns a dict ordered by the registry's canonical order — never by
     completion order — so output is deterministic.
@@ -115,7 +147,7 @@ def run_experiments(
     tracer_cm = obs_trace.trace() if trace_out else nullcontext(None)
     with tracer_cm as tracer:
         results = _execute(
-            ordered, parallel, max_workers, wall_times
+            ordered, parallel, max_workers, wall_times, pool
         )
     wall_times["total"] = time.perf_counter() - t_start
     if trace_out and tracer is not None:
@@ -137,18 +169,37 @@ def _execute(
     parallel: bool,
     max_workers: int | None,
     wall_times: dict[str, float],
+    pool: ShardedPool | None = None,
 ) -> dict[str, ExperimentResult]:
     """The fan-out itself; fills *wall_times* per experiment (serial
     path) and falls back to serial when the pool cannot spawn."""
+    if parallel and pool is not None:
+        with obs_trace.span(
+            "experiments.pool", experiments=len(ordered),
+            workers=pool.n_shards,
+        ):
+            tasks = [
+                PoolTask(
+                    fn=_run_one,
+                    args=(name,),
+                    shard_key=("experiment", name),
+                    label=f"experiment.{name}",
+                )
+                for name in ordered
+            ]
+            values = pool.run(tasks)
+        return dict(zip(ordered, values))
     workers = max_workers or _default_workers(len(ordered))
     if parallel and workers > 1 and len(ordered) > 1:
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
                 with obs_trace.span(
                     "experiments.pool", experiments=len(ordered),
                     workers=workers,
                 ):
-                    futures = {n: pool.submit(_run_one, n) for n in ordered}
+                    futures = {
+                        n: executor.submit(_run_one, n) for n in ordered
+                    }
                     return {n: futures[n].result() for n in ordered}
         except (OSError, PermissionError):
             # Sandboxes without process spawning fall back to serial.
@@ -166,29 +217,59 @@ def run_all_experiments(
     *,
     parallel: bool = True,
     max_workers: int | None = None,
+    pool: ShardedPool | None = None,
 ) -> dict[str, ExperimentResult]:
     """Every registered figure/table artifact, canonical order."""
     return run_experiments(
-        None, parallel=parallel, max_workers=max_workers
+        None, parallel=parallel, max_workers=max_workers, pool=pool
     )
 
 
 # ----------------------------------------------------------------------
 # Chunked design-space exploration
 # ----------------------------------------------------------------------
+_GRID_MEMO_CAP = 8
+_grid_memo: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _grid_arrays_memo(
+    space: DesignSpace,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-process memo of ``space.grid_arrays()``.
+
+    ``DesignSpace`` is a frozen dataclass whose repr covers every field,
+    so the repr keys rebuilt grids exactly; the meshgrid is
+    deterministic, so every process's arrays are bit-identical. This is
+    what lets chunk tasks ship ``(space, lo, hi)`` — about a kilobyte —
+    instead of megabytes of grid slices, and a long-lived pool worker
+    rebuilds each distinct grid once, not once per chunk.
+    """
+    key = repr(space)
+    arrays = _grid_memo.get(key)
+    if arrays is None:
+        if len(_grid_memo) >= _GRID_MEMO_CAP:
+            _grid_memo.clear()
+        arrays = space.grid_arrays()
+        _grid_memo[key] = arrays
+    return arrays
+
+
 def _eval_chunk(
     model: NodeModel,
     profile: KernelProfile,
-    cus: np.ndarray,
-    freqs: np.ndarray,
-    bws: np.ndarray,
+    space: DesignSpace,
+    lo: int,
+    hi: int,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One grid chunk for one profile (module-level: picklable).
 
     Routes through the worker's evaluation cache so repeated parallel
     sweeps in a long-lived pool still reuse work.
     """
-    ev = evaluate_arrays_cached(model, profile, cus, freqs, bws)
+    cus, freqs, bws = _grid_arrays_memo(space)
+    ev = evaluate_arrays_cached(
+        model, profile, cus[lo:hi], freqs[lo:hi], bws[lo:hi]
+    )
     return (
         np.asarray(ev.performance, dtype=float),
         np.asarray(ev.node_power, dtype=float),
@@ -198,20 +279,35 @@ def _eval_chunk(
 def _eval_chunk_metrics(
     model: NodeModel,
     profile: KernelProfile,
-    cus: np.ndarray,
-    freqs: np.ndarray,
-    bws: np.ndarray,
+    space: DesignSpace,
+    lo: int,
+    hi: int,
 ) -> tuple[np.ndarray, np.ndarray, MetricsSnapshot]:
     """:func:`_eval_chunk` plus the worker's metrics delta.
 
     The before/after snapshot difference isolates this chunk's activity
     even though pool workers are long-lived and process many chunks —
     summing the deltas in the parent equals summing per-worker totals.
+    (The sharded-pool path doesn't need this wrapper: its workers
+    measure whole batches and ship the delta alongside the replies.)
     """
     registry = obs_metrics.default_registry()
     before = registry.snapshot()
-    perf, power = _eval_chunk(model, profile, cus, freqs, bws)
+    perf, power = _eval_chunk(model, profile, space, lo, hi)
     return perf, power, registry.snapshot().diff(before)
+
+
+def _chunk_dedup_key(
+    model_fp: str, profile_fp: str, space: DesignSpace, lo: int, hi: int
+) -> str:
+    """Content digest of one chunk task's (pure) result.
+
+    Everything the result depends on is in here, so the pool's payload
+    dedup can answer a warm repeat sweep with parent-held arrays instead
+    of re-pickling them across the pipe.
+    """
+    text = repr(("dse-chunk", model_fp, profile_fp, repr(space), lo, hi))
+    return hashlib.sha1(text.encode()).hexdigest()
 
 
 def parallel_explore(
@@ -221,6 +317,7 @@ def parallel_explore(
     *,
     n_chunks: int | None = None,
     max_workers: int | None = None,
+    pool: ShardedPool | None = None,
     metrics: bool = False,
 ) -> DseResult | tuple[DseResult, MetricsSnapshot]:
     """The full DSE with the grid chunked across worker processes.
@@ -230,10 +327,20 @@ def parallel_explore(
     grid order before the optima are selected). Worth it for fine grids;
     on the default 1617-point grid the serial sweep is already cheap.
 
+    With ``pool=`` the sweep runs on a persistent
+    :class:`~repro.perf.pool.ShardedPool` instead of a throwaway
+    executor: chunk tasks are routed by ``(profile fingerprint, chunk
+    index)``, so across repeated sweeps each worker keeps seeing the
+    chunks whose cache entries it already holds, and identical repeat
+    results come back via the pool's payload dedup without re-shipping
+    the arrays. ``max_workers`` is ignored on this path;
+    ``n_chunks`` defaults to the pool's shard count.
+
     With ``metrics=True`` the return value is ``(result, snapshot)``:
-    every worker measures its own registry delta per chunk and the
-    parent merges them, so the snapshot's cache hit/miss totals are the
-    sums over all workers (one ``cache.eval`` lookup per chunk task).
+    every worker measures its own registry delta per chunk (per batch on
+    the pooled path) and the parent merges them, so the snapshot's cache
+    hit/miss totals are the sums over all workers (one ``cache.eval``
+    lookup per chunk task).
     """
     if not profiles:
         raise ValueError("parallel_explore needs at least one profile")
@@ -242,13 +349,12 @@ def parallel_explore(
         raise ValueError("profile names must be unique")
     space = space or DesignSpace()
     model = model or NodeModel()
-    cus, freqs, bws = space.grid_arrays()
 
     workers = max_workers or _default_workers(len(profiles))
     if n_chunks is None:
-        n_chunks = workers
-    n_chunks = max(1, min(n_chunks, cus.size))
-    bounds = np.linspace(0, cus.size, n_chunks + 1, dtype=int)
+        n_chunks = pool.n_shards if pool is not None else workers
+    n_chunks = max(1, min(n_chunks, space.size))
+    bounds = np.linspace(0, space.size, n_chunks + 1, dtype=int)
     chunks = [
         (int(lo), int(hi))
         for lo, hi in zip(bounds, bounds[1:])
@@ -256,36 +362,53 @@ def parallel_explore(
     ]
 
     tasks = [
-        (profile, lo, hi) for profile in profiles for lo, hi in chunks
+        (profile, chunk_idx, lo, hi)
+        for profile in profiles
+        for chunk_idx, (lo, hi) in enumerate(chunks)
     ]
-    chunk_fn = _eval_chunk_metrics if metrics else _eval_chunk
     results: list[tuple]
-    if workers > 1 and len(tasks) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        chunk_fn, model, p, cus[lo:hi], freqs[lo:hi],
-                        bws[lo:hi],
-                    )
-                    for p, lo, hi in tasks
-                ]
-                results = [f.result() for f in futures]
-        except (OSError, PermissionError):
-            results = [
-                chunk_fn(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
-                for p, lo, hi in tasks
-            ]
-    else:
-        results = [
-            chunk_fn(model, p, cus[lo:hi], freqs[lo:hi], bws[lo:hi])
-            for p, lo, hi in tasks
-        ]
-
     merged = MetricsSnapshot.empty()
-    if metrics:
-        for row in results:
-            merged = merged.merge(row[2])
+    if pool is not None:
+        model_fp = fingerprint_model(model)
+        pool_tasks = [
+            PoolTask(
+                fn=_eval_chunk,
+                args=(model, profile, space, lo, hi),
+                shard_key=(fingerprint_profile(profile), chunk_idx),
+                dedup_key=_chunk_dedup_key(
+                    model_fp, fingerprint_profile(profile), space, lo, hi
+                ),
+                label=f"dse.chunk.{profile.name}[{lo}:{hi}]",
+            )
+            for profile, chunk_idx, lo, hi in tasks
+        ]
+        if metrics:
+            results, merged = pool.run(pool_tasks, metrics=True)
+        else:
+            results = pool.run(pool_tasks)
+    else:
+        chunk_fn = _eval_chunk_metrics if metrics else _eval_chunk
+        if workers > 1 and len(tasks) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    futures = [
+                        executor.submit(chunk_fn, model, p, space, lo, hi)
+                        for p, _idx, lo, hi in tasks
+                    ]
+                    results = [f.result() for f in futures]
+            except (OSError, PermissionError):
+                results = [
+                    chunk_fn(model, p, space, lo, hi)
+                    for p, _idx, lo, hi in tasks
+                ]
+        else:
+            results = [
+                chunk_fn(model, p, space, lo, hi)
+                for p, _idx, lo, hi in tasks
+            ]
+        if metrics:
+            for row in results:
+                merged = merged.merge(row[2])
 
     performance: dict[str, np.ndarray] = {}
     node_power: dict[str, np.ndarray] = {}

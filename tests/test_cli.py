@@ -66,3 +66,24 @@ class TestCli:
         trace = json.loads(trace_path.read_text())
         names = [e["name"] for e in trace["traceEvents"]]
         assert "experiment.fig7" in names
+
+    def test_pool_shards(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "fig7", "table1",
+            "--pool-shards", "2",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "Table I" in out
+
+        import json
+        import os
+
+        # The pooled path runs each experiment under a worker-side span
+        # that is merged back into the parent's trace.
+        trace = json.loads(trace_path.read_text())
+        events = {e["name"]: e for e in trace["traceEvents"]}
+        assert "experiments.pool" in events
+        assert "experiment.fig7" in events
+        assert events["experiment.fig7"]["pid"] != os.getpid()

@@ -79,6 +79,68 @@ class TestHotnessMigrationPolicy:
         mgr = MemoryManager(2 * PAGE, HotnessMigrationPolicy())
         assert mgr.epoch(np.array([], dtype=np.int64)) == 1.0
 
+    def test_heap_eviction_matches_per_eviction_resort(self):
+        """The incremental eviction heap must pick the same victims the
+        old quadratic re-sort-per-eviction picked, including the
+        (count, page) tie-break, under heavy churn."""
+
+        def resort_place(access_counts, current, capacity_pages):
+            # The pre-heap reference: re-sorted candidates per eviction.
+            ranked = sorted(
+                access_counts, key=lambda p: access_counts[p], reverse=True
+            )
+            want_in = set(ranked[:capacity_pages])
+            placement = dict(current)
+            for page in access_counts:
+                placement.setdefault(page, MemoryLevel.EXTERNAL)
+            to_promote = [
+                p
+                for p in ranked[:capacity_pages]
+                if placement.get(p) is not MemoryLevel.IN_PACKAGE
+            ]
+            resident = {
+                p
+                for p, lvl in placement.items()
+                if lvl is MemoryLevel.IN_PACKAGE
+            }
+            migrated = 0
+            for page in to_promote:
+                if len(resident) >= capacity_pages:
+                    evictable = sorted(
+                        (p for p in resident if p not in want_in),
+                        key=lambda p: (access_counts.get(p, 0), p),
+                    )
+                    if not evictable:
+                        break
+                    victim = evictable[0]
+                    placement[victim] = MemoryLevel.EXTERNAL
+                    resident.discard(victim)
+                placement[page] = MemoryLevel.IN_PACKAGE
+                resident.add(page)
+                migrated += 1
+            return placement, migrated
+
+        policy = HotnessMigrationPolicy()
+        rng = np.random.default_rng(7)
+        capacity = 40
+        current: dict[int, MemoryLevel] = {}
+        reference = {}
+        for _ in range(12):
+            # Shifting hot set: most of the working set turns over each
+            # epoch, so nearly every promotion needs an eviction. Tied
+            # counts (every page seen once or twice) stress the
+            # page-number tie-break.
+            pages = rng.integers(0, 300, size=400)
+            unique, counts = np.unique(pages, return_counts=True)
+            access_counts = dict(zip(unique.tolist(), counts.tolist()))
+            result = policy.place(access_counts, current, capacity)
+            reference, ref_migrated = resort_place(
+                access_counts, reference, capacity
+            )
+            assert dict(result.level_of_page) == reference
+            assert result.migrated_pages == ref_migrated
+            current = dict(result.level_of_page)
+
 
 class TestDramCache:
     def test_cold_miss_then_hit(self):

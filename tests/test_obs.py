@@ -257,6 +257,24 @@ class TestTracer:
                 assert obs_trace.active_tracer() is inner
             assert obs_trace.active_tracer() is outer
 
+    def test_extend_appends_foreign_events_verbatim(self):
+        # The pool ships worker-side span buffers back to the parent
+        # tracer with extend(): events keep their own pid/ts.
+        parent = Tracer(clock=FakeClock())
+        with parent.span("parent.work"):
+            pass
+        foreign = [
+            {"name": "worker.task", "cat": "pool", "ph": "X",
+             "ts": 5.0, "dur": 2.0, "pid": 99999, "tid": 1},
+        ]
+        parent.extend(foreign)
+        assert [e["name"] for e in parent.events] == [
+            "parent.work", "worker.task",
+        ]
+        merged = parent.to_chrome()["traceEvents"]
+        assert merged[1]["pid"] == 99999
+        assert merged[1]["ts"] == 5.0
+
 
 # ----------------------------------------------------------------------
 # CacheStats ergonomics
@@ -367,6 +385,59 @@ class TestManifest:
         data = json.loads(path.read_text())
         assert data["manifest_version"] >= 1
         assert data["python"]
+
+    def test_manifest_carries_process_memory_gauges(self):
+        from repro.obs import manifest as obs_manifest
+        from repro.obs.proc import rss_bytes
+
+        if rss_bytes() is None:  # pragma: no cover
+            pytest.skip("no /proc/self/statm on this platform")
+        doc = obs_manifest.build_manifest(command="t", clock=lambda: 0.0)
+        gauges = doc["metrics"]["gauges"]
+        assert gauges["proc.rss_bytes"] > 0
+        assert gauges["proc.peak_rss_bytes"] >= gauges["proc.rss_bytes"] * 0
+
+
+# ----------------------------------------------------------------------
+# Process memory gauges (repro.obs.proc)
+# ----------------------------------------------------------------------
+class TestProcGauges:
+    def test_readings_are_positive_or_none(self):
+        from repro.obs import proc
+
+        rss = proc.rss_bytes()
+        peak = proc.peak_rss_bytes()
+        assert rss is None or rss > 0
+        assert peak is None or peak > 0
+
+    def test_publish_into_explicit_registry(self):
+        from repro.obs import proc
+
+        registry = MetricsRegistry()
+        readings = proc.publish_memory_gauges(registry)
+        snap = registry.snapshot()
+        for name, value in readings.items():
+            assert name.startswith("proc.")
+            assert snap.gauges[name] == value
+
+    def test_publish_respects_disabled_flag(self):
+        from repro.obs import proc
+
+        registry = obs_metrics.default_registry()
+        before = set(registry.snapshot().gauges)
+        with obs_metrics.disabled():
+            readings = proc.publish_memory_gauges(prefix="proc.test")
+        after = set(registry.snapshot().gauges)
+        # Readings are still returned, but nothing lands in the
+        # registry while the module-level helpers are disabled.
+        assert not any(name in after - before for name in readings)
+
+    def test_custom_prefix(self):
+        from repro.obs import proc
+
+        registry = MetricsRegistry()
+        readings = proc.publish_memory_gauges(registry, prefix="mem")
+        assert all(name.startswith("mem.") for name in readings)
 
 
 # ----------------------------------------------------------------------

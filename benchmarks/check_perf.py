@@ -25,6 +25,11 @@ replicated below) and asserts the speedup ratios the layer promises:
   recomputation of warm cache keys and bit-identical results to the
   serial ``core.dse.explore`` (affinity and round-robin policies, and
   after a simulated worker death/restart),
+* the fused whole-grid tensor evaluation
+  (``NodeModel.evaluate_grid``) >= 10x over the seed per-profile
+  ``evaluate_arrays`` loop on a full Table-II-scale sweep, with the
+  DSE's ``best_mean_index``/``per_app_best_index`` selections
+  bit-identical between the two engines,
 
 plus numerical agreement (1e-9) between fast and reference paths.
 
@@ -480,9 +485,12 @@ def check_pool_affinity(quick: bool) -> list[str]:
 
     A warm repeat sweep on a reused :class:`ShardedPool` must beat the
     cold spawn-per-call baseline >= 5x, recompute zero warm cache keys
-    (merged worker ``cache.eval`` deltas: no misses, one hit per chunk
-    task), and stay bit-identical to the serial DSE — cold, warm, under
-    the round-robin policy, and after a worker is killed and respawned.
+    (merged worker ``cache.eval`` deltas: no misses, one hit per tensor
+    slab task), and stay bit-identical to the serial DSE — cold, warm,
+    under the round-robin policy, and after a worker is killed and
+    respawned. Since PR 6 the unit of work is a fused (profile-block x
+    CU-slab) tensor slab, so the task count is ``n_blocks * n_slabs``
+    rather than ``len(profiles) * n_chunks``.
     """
     from repro.core.config import DesignSpace
     from repro.core.dse import explore
@@ -504,7 +512,10 @@ def check_pool_affinity(quick: bool) -> list[str]:
         bandwidths=tuple(1e12 + 0.25e12 * k for k in range(25)),
     )
     profiles = [get_application(n) for n in names]
-    n_tasks = len(profiles) * n_chunks
+    # Mirrors the slab split in repro.perf.parallel._explore_slabs.
+    n_blocks = max(1, min(n_chunks, len(profiles)))
+    n_slabs = max(1, min(n_chunks, len(space.cu_counts)))
+    n_tasks = n_blocks * n_slabs
 
     serial = explore(profiles, space, cache=False)
 
@@ -601,6 +612,108 @@ def check_pool_affinity(quick: bool) -> list[str]:
     return failures
 
 
+def check_tensor_eval(quick: bool) -> list[str]:
+    """The fused whole-grid tensor evaluation's two promises.
+
+    Speed: one ``NodeModel.evaluate_grid`` broadcast pass over a full
+    Table-II-scale ``(P, CU, freq, BW)`` sweep must beat the seed
+    per-profile path — ``evaluate_arrays`` plus the
+    performance/node-power property materializations and the
+    feasibility compare, per profile, exactly what the seed
+    ``core.dse.explore`` loop did — by >= 10x.
+
+    Identity: ``explore(engine="tensor")`` and ``explore(
+    engine="point")`` must select bit-identical ``best_mean_index`` and
+    ``per_app_best_index`` optima on the catalog, and the grids must
+    agree to rtol 1e-12 with exactly equal feasibility masks (the
+    fused kernel reassociates arithmetic, so values differ by a few
+    ULPs — ~8 orders of magnitude below the catalog's tightest argmax
+    and budget margins).
+    """
+    from repro.core.config import DesignSpace
+    from repro.core.dse import explore
+    from repro.core.node import NodeModel
+    from repro.util import alloctune
+    from repro.workloads.catalog import application_names, get_application
+    from repro.workloads.kernels import ProfileBatch
+
+    # Without this, glibc returns every freed scratch tensor to the OS
+    # and the tensor pass re-faults its pages each call (~2x slower).
+    alloctune.retain_freed_heap()
+
+    apps = [get_application(n) for n in application_names()]
+    scales = 4 if quick else 8
+    profiles = [
+        app.scaled_problem(float(2 ** k)).with_overrides(
+            name=f"{app.name}/x{2 ** k}"
+        )
+        for app in apps
+        for k in range(scales)
+    ]
+    space = DesignSpace()
+    model = NodeModel()
+    cus, freqs, bws = space.grid_arrays()
+    repeats = 3 if quick else 5
+
+    def point_sweep():
+        out = {}
+        for profile in profiles:
+            ev = model.evaluate_arrays(profile, cus, freqs, bws)
+            perf = np.asarray(ev.performance, dtype=float)
+            power = np.asarray(ev.node_power, dtype=float)
+            out[profile.name] = (perf, power, power <= space.power_budget)
+        return out
+
+    batch = ProfileBatch.from_profiles(profiles)
+
+    grid = model.evaluate_grid(batch, space)
+    ref = point_sweep()
+    max_rel = 0.0
+    masks_equal = True
+    for i, name in enumerate(grid.names):
+        perf, power, feas = ref[name]
+        max_rel = max(
+            max_rel,
+            float(np.abs(grid.performance[i] / perf - 1.0).max()),
+            float(np.abs(grid.power[i] / power - 1.0).max()),
+        )
+        masks_equal = masks_equal and np.array_equal(grid.feasible[i], feas)
+
+    t_tensor = _best_of(lambda: model.evaluate_grid(batch, space), repeats)
+    t_point = _best_of(point_sweep, repeats)
+    ratio = t_point / t_tensor
+
+    serial_point = explore(apps, space, model, cache=False, engine="point")
+    serial_tensor = explore(apps, space, model, cache=False, engine="tensor")
+    argmax_identical = (
+        serial_tensor.best_mean_index == serial_point.best_mean_index
+        and dict(serial_tensor.per_app_best_index)
+        == dict(serial_point.per_app_best_index)
+    )
+
+    print(f"tensor eval {len(profiles)} profiles x {space.size} points: "
+          f"fused {t_tensor * 1e3:.2f} ms vs per-profile "
+          f"{t_point * 1e3:.1f} ms -> {ratio:.1f}x "
+          f"(max rel err = {max_rel:.2e}, argmax identical: "
+          f"{argmax_identical})")
+
+    failures = []
+    if max_rel > 1e-12:
+        failures.append(
+            f"tensor grid diverged from per-profile path: {max_rel:.2e} "
+            f"> 1e-12"
+        )
+    if not masks_equal:
+        failures.append("tensor feasibility masks diverged")
+    if not argmax_identical:
+        failures.append(
+            "tensor/point engines selected different DSE optima"
+        )
+    if ratio < 10.0:
+        failures.append(f"tensor evaluation speedup {ratio:.1f}x < 10x")
+    return failures
+
+
 CHECKS = (
     ("thermal", check_thermal),
     ("noc", check_noc),
@@ -609,6 +722,7 @@ CHECKS = (
     ("memsys_cache", check_memsys_cache),
     ("obs_overhead", check_obs_overhead),
     ("pool_affinity", check_pool_affinity),
+    ("tensor_eval", check_tensor_eval),
 )
 
 

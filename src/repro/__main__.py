@@ -11,6 +11,9 @@ Usage::
     python -m repro all --metrics-out manifest.json --trace-out trace.json
                                         # ... plus a run manifest and a
                                         # Perfetto-loadable span trace
+    python -m repro table2 --engine point
+                                        # per-profile oracle DSE engine
+                                        # (default: fused tensor passes)
 """
 
 from __future__ import annotations
@@ -57,6 +60,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=("tensor", "point"),
+        default="tensor",
+        help=(
+            "design-space exploration engine: 'tensor' (default) runs "
+            "one fused broadcast pass over the whole (profile x CU x "
+            "freq x BW) grid, 'point' the per-profile oracle loop; the "
+            "choice is recorded in the run manifest"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -80,6 +94,15 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    from repro.core import dse
+    from repro.util import alloctune
+
+    dse.set_default_engine(args.engine)
+    if args.engine == "tensor":
+        # Keep freed tensor scratch pages in-process so repeated fused
+        # grid passes run at the warm-allocation floor.
+        alloctune.retain_freed_heap()
 
     names = (
         list(EXPERIMENTS) if args.artifacts == ["all"] else args.artifacts

@@ -26,7 +26,49 @@ from repro.obs import trace as obs_trace
 from repro.util.stats import geometric_mean_across
 from repro.workloads.kernels import KernelProfile
 
-__all__ = ["DseResult", "explore", "best_mean_config", "best_config_for"]
+__all__ = [
+    "DseResult",
+    "ENGINES",
+    "default_engine",
+    "set_default_engine",
+    "explore",
+    "best_mean_config",
+    "best_config_for",
+]
+
+ENGINES: tuple[str, ...] = ("tensor", "point")
+"""Available exploration engines.
+
+``tensor``
+    One fused broadcast pass over the whole ``(profile x CU x freq x
+    BW)`` tensor (:meth:`~repro.core.node.NodeModel.evaluate_grid`).
+    The default: ~10x faster than the point engine at Table-II scale,
+    selecting bit-identical optima.
+``point``
+    The original per-profile :meth:`~repro.core.node.NodeModel.
+    evaluate_arrays` loop — the retained oracle the equivalence tests
+    and the perf gate compare against.
+"""
+
+_default_engine = "tensor"
+
+
+def default_engine() -> str:
+    """The engine :func:`explore` uses when none is passed."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous one.
+
+    ``python -m repro --engine {tensor,point}`` routes through this.
+    """
+    global _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown DSE engine {engine!r}; use one of {ENGINES}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
 
 
 @dataclass(frozen=True)
@@ -92,6 +134,7 @@ def explore(
     space: DesignSpace | None = None,
     model: NodeModel | None = None,
     cache=None,
+    engine: str | None = None,
 ) -> DseResult:
     """Sweep *space* for all *profiles* and locate the optima.
 
@@ -99,6 +142,13 @@ def explore(
     in-package); the budget applies to total node power, which at the DSE
     operating point is EHP package power plus the external memory
     network's static floor.
+
+    *engine* selects between the fused whole-grid tensor pass and the
+    per-profile point loop (see :data:`ENGINES`); ``None`` uses
+    :func:`default_engine`. Both engines select bit-identical
+    ``best_mean_index`` / ``per_app_best_index`` optima (gated by
+    ``check_tensor_eval``); their performance/power arrays agree to a
+    few ULPs.
 
     Grid evaluations go through the shared
     :mod:`repro.perf.evalcache` memo, so re-exploring the same
@@ -112,6 +162,9 @@ def explore(
     names = [p.name for p in profiles]
     if len(set(names)) != len(names):
         raise ValueError("profile names must be unique")
+    engine = engine or _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown DSE engine {engine!r}; use one of {ENGINES}")
     space = space or DesignSpace()
     model = model or NodeModel()
     if cache is None:
@@ -124,20 +177,35 @@ def explore(
     node_power: dict[str, np.ndarray] = {}
     feasible: dict[str, np.ndarray] = {}
     with obs_trace.span(
-        "dse.explore", profiles=len(profiles), points=int(cus.size)
+        "dse.explore",
+        profiles=len(profiles),
+        points=int(cus.size),
+        engine=engine,
     ), obs_metrics.timed("dse.explore_seconds"):
-        for profile in profiles:
+        if engine == "tensor":
             if cache is False:
-                evaluation = model.evaluate_arrays(profile, cus, freqs, bws)
+                grid = model.evaluate_grid(profiles, space)
             else:
-                evaluation = cache.evaluate_arrays(
-                    model, profile, cus, freqs, bws
-                )
-            perf = np.asarray(evaluation.performance, dtype=float)
-            power = np.asarray(evaluation.node_power, dtype=float)
-            performance[profile.name] = perf
-            node_power[profile.name] = power
-            feasible[profile.name] = power <= space.power_budget
+                grid = cache.evaluate_grid(model, profiles, space)
+            for i, name in enumerate(grid.names):
+                performance[name] = grid.performance[i]
+                node_power[name] = grid.power[i]
+                feasible[name] = grid.feasible[i]
+        else:
+            for profile in profiles:
+                if cache is False:
+                    evaluation = model.evaluate_arrays(
+                        profile, cus, freqs, bws
+                    )
+                else:
+                    evaluation = cache.evaluate_arrays(
+                        model, profile, cus, freqs, bws
+                    )
+                perf = np.asarray(evaluation.performance, dtype=float)
+                power = np.asarray(evaluation.node_power, dtype=float)
+                performance[profile.name] = perf
+                node_power[profile.name] = power
+                feasible[profile.name] = power <= space.power_budget
 
         result = _select_optima(space, performance, node_power, feasible)
     obs_metrics.inc("dse.explores")

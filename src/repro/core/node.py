@@ -13,18 +13,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import EHPConfig
+from repro.core.config import DesignSpace, EHPConfig
 from repro.perfmodel.machine import MachineParams
-from repro.perfmodel.roofline import KernelMetrics, evaluate_kernel
+from repro.perfmodel.roofline import (
+    KernelMetrics,
+    evaluate_kernel,
+    evaluate_kernel_grid,
+)
 from repro.power.breakdown import (
     ExternalMemoryConfig,
     PowerBreakdown,
     node_power,
+    node_power_grid,
 )
 from repro.power.components import PowerParams
-from repro.workloads.kernels import KernelProfile
+from repro.workloads.kernels import KernelProfile, ProfileBatch
 
-__all__ = ["NodeEvaluation", "NodeModel"]
+__all__ = ["GridEvaluation", "NodeEvaluation", "NodeModel"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,34 @@ class NodeEvaluation:
     def energy(self) -> np.ndarray:
         """Total node energy over the kernel, joules."""
         return self.node_power * self.metrics.time
+
+
+@dataclass(frozen=True)
+class GridEvaluation:
+    """One fused (profile x CU x freq x BW) evaluation, flattened.
+
+    Row ``i`` of each ``(P, G)`` tensor is profile ``names[i]`` swept
+    over every grid point of ``space`` in the same C-order flat layout
+    :meth:`~repro.core.config.DesignSpace.grid_arrays` produces (CUs
+    outermost), so a row is directly comparable to a per-profile
+    :meth:`NodeModel.evaluate_arrays` sweep: values agree to ~1e-13
+    relative and the DSE's argmax/feasibility selections are identical.
+    """
+
+    names: tuple[str, ...]
+    space: DesignSpace
+    performance: np.ndarray
+    """Achieved FLOP/s, shape ``(P, G)``."""
+
+    power: np.ndarray
+    """Total node power in watts, shape ``(P, G)``."""
+
+    feasible: np.ndarray
+    """``power <= space.power_budget`` mask, shape ``(P, G)``."""
+
+    def row(self, name: str) -> int:
+        """Row index of one profile name."""
+        return self.names.index(name)
 
 
 class NodeModel:
@@ -148,6 +181,90 @@ class NodeModel:
             ext_config=self.ext_config,
         )
         return NodeEvaluation(metrics=metrics, power=power)
+
+    def evaluate_batch(
+        self,
+        batch: ProfileBatch,
+        n_cus,
+        freq,
+        bandwidth,
+        *,
+        ext_fraction=None,
+        extra_latency: float = 0.0,
+    ) -> NodeEvaluation:
+        """Generic broadcast evaluation of a whole :class:`ProfileBatch`.
+
+        The batch's columns lead the hardware axes: outputs gain a
+        profile axis of length ``P`` in front of whatever
+        ``(n_cus, freq, bandwidth)`` broadcast to. This is the fully
+        general path (it supports ``ext_fraction`` and
+        ``extra_latency``); the DSE-shaped fast path is
+        :meth:`evaluate_grid`.
+        """
+        hw_axes = np.broadcast(
+            np.asarray(n_cus, dtype=float),
+            np.asarray(freq, dtype=float),
+            np.asarray(bandwidth, dtype=float),
+            np.asarray(0.0 if ext_fraction is None else ext_fraction),
+        ).ndim
+        expanded = batch.expand(max(1, hw_axes))
+        return self.evaluate_arrays(
+            expanded,
+            n_cus,
+            freq,
+            bandwidth,
+            ext_fraction=ext_fraction,
+            extra_latency=extra_latency,
+        )
+
+    def evaluate_grid(
+        self,
+        profiles,
+        space: DesignSpace | None = None,
+    ) -> GridEvaluation:
+        """Fused tensor evaluation of *profiles* over a whole grid.
+
+        One broadcast pass over the ``(P, C, F, B)`` tensor — no Python
+        loop over profiles or grid chunks — at the DSE operating point
+        (all traffic in-package). Results match looping
+        :meth:`evaluate_arrays` over ``space.grid_arrays()`` per
+        profile to a few ULPs (rtol ~1e-13), close enough that every
+        DSE argmax and feasibility decision is bit-identical;
+        ``benchmarks/check_perf.py check_tensor_eval`` gates both that
+        identity and the speedup.
+
+        *profiles* may be a :class:`ProfileBatch` or a sequence of
+        :class:`KernelProfile`.
+        """
+        space = space or DesignSpace()
+        if isinstance(profiles, ProfileBatch):
+            batch = profiles
+        else:
+            batch = ProfileBatch.from_profiles(profiles)
+        cu_axis = np.asarray(space.cu_counts, dtype=float)
+        f_axis = np.asarray(space.frequencies, dtype=float)
+        b_axis = np.asarray(space.bandwidths, dtype=float)
+        kernel = evaluate_kernel_grid(
+            batch, cu_axis, f_axis, b_axis, machine=self.machine
+        )
+        perf = kernel.perf.reshape(len(batch), -1)
+        total = node_power_grid(
+            batch,
+            kernel,
+            cu_axis,
+            f_axis,
+            b_axis,
+            params=self.power_params,
+            ext_config=self.ext_config,
+        )
+        power = total.reshape(len(batch), -1)
+        return GridEvaluation(
+            names=batch.names,
+            space=space,
+            performance=perf,
+            power=power,
+            feasible=power <= space.power_budget,
+        )
 
     def performance(self, profile: KernelProfile, config: EHPConfig) -> float:
         """Convenience: achieved FLOP/s on one design point."""

@@ -20,7 +20,6 @@ column arrays without building a ``SimMessage`` per message.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -147,19 +146,6 @@ class NocSimulator:
             self._link_id[(b, a)] = lid
         self._path_links: dict[tuple[str, str], tuple[int, ...]] = {}
         self._last_result: SimResult | None = None
-
-    @property
-    def links(self) -> dict[frozenset, LinkStats]:
-        """Deprecated alias for the last run's :attr:`SimResult.link_stats`."""
-        warnings.warn(
-            "NocSimulator.links is deprecated; use SimResult.link_stats "
-            "returned by run()/run_batch()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._last_result is None:
-            return {}
-        return dict(self._last_result.link_stats)
 
     def _path(self, src: str, dst: str) -> tuple[str, ...]:
         key = (src, dst)

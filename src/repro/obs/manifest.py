@@ -58,6 +58,7 @@ def git_describe(cwd: str | None = None) -> str | None:
 
 def engine_choices() -> dict:
     """Default and available engines of every dual-engine subsystem."""
+    from repro.core import dse
     from repro.memsys import dramcache, manager, rowbuffer
     from repro.sim import apu_sim
 
@@ -67,10 +68,17 @@ def engine_choices() -> dict:
         "memsys.dramcache": dramcache.ENGINES,
         "memsys.manager": manager.ENGINES,
     }
-    return {
+    choices = {
         name: {"default": engines[0], "available": list(engines)}
         for name, engines in subsystems.items()
     }
+    # The DSE's default is process-wide state (python -m repro --engine
+    # routes through set_default_engine), so report the live value.
+    choices["core.dse"] = {
+        "default": dse.default_engine(),
+        "available": list(dse.ENGINES),
+    }
+    return choices
 
 
 def cache_stats() -> dict:

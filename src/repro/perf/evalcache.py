@@ -55,7 +55,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.node import NodeEvaluation, NodeModel
+from repro.core.config import DesignSpace
+from repro.core.node import GridEvaluation, NodeEvaluation, NodeModel
 from repro.obs import metrics as _obs_metrics
 from repro.memsys.dramcache import DramCache, DramCacheStats
 from repro.memsys.manager import (
@@ -65,7 +66,7 @@ from repro.memsys.manager import (
 )
 from repro.memsys.rowbuffer import RowBufferSim, RowBufferStats
 from repro.sim.apu_sim import ApuSimConfig, ApuSimResult, ApuSimulator
-from repro.workloads.kernels import KernelProfile
+from repro.workloads.kernels import KernelProfile, ProfileBatch
 from repro.workloads.traces import MemoryTrace
 
 __all__ = [
@@ -78,7 +79,9 @@ __all__ = [
     "default_sim_cache",
     "default_memsys_cache",
     "evaluate_arrays_cached",
+    "evaluate_grid_cached",
     "simulate_trace_cached",
+    "fingerprint_batch",
     "fingerprint_trace",
     "fingerprint_sim_config",
     "fingerprint_addresses",
@@ -160,6 +163,16 @@ def fingerprint_profile(profile: KernelProfile) -> str:
     """Value fingerprint of one kernel profile (all fields, not just
     the name — overridden copies must not collide)."""
     return _digest(repr(profile))
+
+
+def fingerprint_batch(batch: ProfileBatch) -> str:
+    """Value fingerprint of a whole profile batch: names plus the raw
+    bytes of every stacked column, so two batches collide only when
+    they stack the same profiles in the same order."""
+    h = hashlib.sha1(repr(batch.names).encode())
+    for fname in ProfileBatch.field_names():
+        h.update(np.ascontiguousarray(getattr(batch, fname)).tobytes())
+    return h.hexdigest()
 
 
 def fingerprint_array(value) -> str:
@@ -410,6 +423,47 @@ class EvalCache(_KeyedMemo):
             ),
         )
 
+    def evaluate_grid(
+        self,
+        model: NodeModel,
+        profiles,
+        space: DesignSpace,
+        cu_lo: int = 0,
+        cu_hi: int | None = None,
+    ) -> GridEvaluation:
+        """Cached equivalent of ``model.evaluate_grid(profiles, space)``.
+
+        ``cu_lo``/``cu_hi`` select a CU-axis slab of *space* — the
+        parallel sweep's unit of work — and key it independently: a
+        whole-grid entry and its slabs never alias, but replaying the
+        same (batch, model, slab) triple (as the pool's dedup and the
+        experiment drivers do) hits. *profiles* may be a
+        :class:`~repro.workloads.kernels.ProfileBatch` or a sequence of
+        profiles.
+        """
+        if isinstance(profiles, ProfileBatch):
+            batch = profiles
+        else:
+            batch = ProfileBatch.from_profiles(profiles)
+        if cu_lo != 0 or cu_hi is not None:
+            import dataclasses
+
+            sub = space.cu_counts[cu_lo:cu_hi]
+            if not sub:
+                raise ValueError(
+                    f"empty CU slab [{cu_lo}:{cu_hi}] of {space.cu_counts}"
+                )
+            space = dataclasses.replace(space, cu_counts=sub)
+        key = (
+            "grid",
+            fingerprint_batch(batch),
+            fingerprint_model(model),
+            _digest(repr(space)),
+        )
+        return self._get_or_compute(
+            key, lambda: model.evaluate_grid(batch, space)
+        )
+
     def invalidate(
         self,
         profile: KernelProfile | None = None,
@@ -418,8 +472,10 @@ class EvalCache(_KeyedMemo):
         """Explicitly drop entries for *profile* and/or *model*.
 
         With both ``None`` every entry is dropped (counters are kept —
-        use :meth:`clear` to reset those too). Returns the number of
-        evicted entries.
+        use :meth:`clear` to reset those too). Grid entries do not
+        record individual profile fingerprints, so a profile-scoped
+        invalidation conservatively drops every grid entry. Returns the
+        number of evicted entries.
         """
         with self._lock:
             if profile is None and model is None:
@@ -428,12 +484,15 @@ class EvalCache(_KeyedMemo):
                 return dropped
             pfp = None if profile is None else fingerprint_profile(profile)
             mfp = None if model is None else fingerprint_model(model)
-            doomed = [
-                k
-                for k in self._entries
-                if (pfp is None or k[0] == pfp)
-                and (mfp is None or k[1] == mfp)
-            ]
+
+            def doomed_key(k: tuple) -> bool:
+                if k[0] == "grid":
+                    return mfp is None or k[2] == mfp
+                return (pfp is None or k[0] == pfp) and (
+                    mfp is None or k[1] == mfp
+                )
+
+            doomed = [k for k in self._entries if doomed_key(k)]
             for k in doomed:
                 del self._entries[k]
             return len(doomed)
@@ -472,6 +531,22 @@ def evaluate_arrays_cached(
         ext_fraction=ext_fraction,
         extra_latency=extra_latency,
     )
+
+
+def evaluate_grid_cached(
+    model: NodeModel,
+    profiles,
+    space: DesignSpace,
+    cu_lo: int = 0,
+    cu_hi: int | None = None,
+    cache: EvalCache | None = None,
+) -> GridEvaluation:
+    """Module-level convenience over :meth:`EvalCache.evaluate_grid`.
+
+    ``cache=None`` uses the shared :func:`default_cache`.
+    """
+    cache = cache if cache is not None else _default_cache
+    return cache.evaluate_grid(model, profiles, space, cu_lo, cu_hi)
 
 
 class SimCache(_KeyedMemo):

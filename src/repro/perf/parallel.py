@@ -10,23 +10,38 @@ Two fan-outs live here:
   serial fallback (``parallel=False``, a failed pool spawn, or a
   single-worker environment) produces byte-identical results through
   the same code path workers use.
-* :func:`parallel_explore` — the design-space exploration with the
-  grid split into chunks evaluated across workers, for fine grids
-  (hundreds of thousands of points) where a single serial sweep is the
-  bottleneck. Chunk results are concatenated in order, so the outcome
-  is identical to :func:`repro.core.dse.explore`.
+* :func:`parallel_explore` — the design-space exploration fanned
+  across workers, for fine grids (hundreds of thousands of points)
+  where a single serial sweep is the bottleneck. The default
+  ``engine="tensor"`` splits the work into *tensor slabs*: the
+  profiles are stacked into :class:`~repro.workloads.kernels.
+  ProfileBatch` blocks and the grid is cut along its outermost (CU)
+  axis, so one task is one fused ``(profile block) x (CU slab)``
+  evaluation via :meth:`~repro.core.node.NodeModel.evaluate_grid`.
+  Because the fused kernel's coefficients all live on axes a CU slab
+  slices through, slab results are bit-identical to the corresponding
+  columns of a whole-grid pass, and concatenating slabs in order
+  reproduces it exactly. ``engine="point"`` keeps the original
+  (profile, grid-chunk) unit of work through
+  :meth:`~repro.core.node.NodeModel.evaluate_arrays` — the retained
+  oracle. Either way the outcome matches :func:`repro.core.dse.
+  explore` (chunks/slabs are concatenated in grid order before the
+  optima are selected).
 
 Both accept ``pool=`` — a long-lived
 :class:`~repro.perf.pool.ShardedPool` whose workers persist across
-calls. Chunk tasks carry a ``shard_key`` of ``(profile fingerprint,
-chunk index)``, so the pool's affinity policy sends the same chunk to
+calls. Slab tasks carry a ``shard_key`` of ``(profile-block
+fingerprint, slab index)`` (chunk tasks: ``(profile fingerprint,
+chunk index)``), so the pool's affinity policy sends the same slab to
 the same worker every sweep and that worker's warm
 :mod:`repro.perf.evalcache` entries are never recomputed elsewhere.
 Without a pool, each call spawns (and tears down) a fresh
 ``ProcessPoolExecutor`` as before.
 
-Task payloads stay small: a chunk is described by ``(model, profile,
-space, lo, hi)`` and each worker rebuilds the grid arrays from the
+Task payloads stay small: a slab is described by ``(model, block,
+space, cu_lo, cu_hi)`` — the block is a few KB of stacked scalar
+columns — and a chunk by ``(model, profile, space, lo, hi)``; each
+worker rebuilds grid arrays from the
 :class:`~repro.core.config.DesignSpace` locally (memoized per space),
 rather than shipping megabytes of meshgrid slices per task.
 ``DesignSpace.grid_arrays`` is a deterministic meshgrid, so the rebuilt
@@ -61,7 +76,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import DesignSpace
-from repro.core.dse import DseResult, _select_optima
+from repro.core.dse import ENGINES, DseResult, _select_optima, default_engine
 from repro.core.node import NodeModel
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.runner import ExperimentResult
@@ -70,11 +85,13 @@ from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsSnapshot
 from repro.perf.evalcache import (
     evaluate_arrays_cached,
+    evaluate_grid_cached,
+    fingerprint_batch,
     fingerprint_model,
     fingerprint_profile,
 )
 from repro.perf.pool import PoolTask, ShardedPool
-from repro.workloads.kernels import KernelProfile
+from repro.workloads.kernels import KernelProfile, ProfileBatch
 
 __all__ = ["run_all_experiments", "run_experiments", "parallel_explore"]
 
@@ -310,6 +327,50 @@ def _chunk_dedup_key(
     return hashlib.sha1(text.encode()).hexdigest()
 
 
+def _eval_slab(
+    model: NodeModel,
+    block: ProfileBatch,
+    space: DesignSpace,
+    cu_lo: int,
+    cu_hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One fused tensor slab: a profile block over a CU-axis slab.
+
+    Returns ``(performance, power)`` of shape ``(len(block),
+    slab_points)`` — the exact columns ``[cu_lo*F*B : cu_hi*F*B)`` of a
+    whole-grid pass, bit for bit (the fused kernel's coefficients live
+    on axes the CU slab slices through). Routes through the worker's
+    grid memo so repeated sweeps in a long-lived pool reuse whole-slab
+    results.
+    """
+    grid = evaluate_grid_cached(model, block, space, cu_lo, cu_hi)
+    return grid.performance, grid.power
+
+
+def _eval_slab_metrics(
+    model: NodeModel,
+    block: ProfileBatch,
+    space: DesignSpace,
+    cu_lo: int,
+    cu_hi: int,
+) -> tuple[np.ndarray, np.ndarray, MetricsSnapshot]:
+    """:func:`_eval_slab` plus the worker's metrics delta (see
+    :func:`_eval_chunk_metrics`)."""
+    registry = obs_metrics.default_registry()
+    before = registry.snapshot()
+    perf, power = _eval_slab(model, block, space, cu_lo, cu_hi)
+    return perf, power, registry.snapshot().diff(before)
+
+
+def _slab_dedup_key(
+    model_fp: str, batch_fp: str, space: DesignSpace, cu_lo: int, cu_hi: int
+) -> str:
+    """Content digest of one slab task's (pure) result — the slab
+    analogue of :func:`_chunk_dedup_key`."""
+    text = repr(("dse-slab", model_fp, batch_fp, repr(space), cu_lo, cu_hi))
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
 def parallel_explore(
     profiles: Sequence[KernelProfile],
     space: DesignSpace | None = None,
@@ -319,34 +380,49 @@ def parallel_explore(
     max_workers: int | None = None,
     pool: ShardedPool | None = None,
     metrics: bool = False,
+    engine: str | None = None,
 ) -> DseResult | tuple[DseResult, MetricsSnapshot]:
-    """The full DSE with the grid chunked across worker processes.
+    """The full DSE fanned across worker processes.
 
     Produces a :class:`~repro.core.dse.DseResult` identical to the
-    serial :func:`repro.core.dse.explore` (chunks are concatenated in
-    grid order before the optima are selected). Worth it for fine grids;
-    on the default 1617-point grid the serial sweep is already cheap.
+    serial :func:`repro.core.dse.explore` (slabs/chunks are
+    concatenated in grid order before the optima are selected).
+
+    *engine* picks the unit of work (``None`` uses
+    :func:`repro.core.dse.default_engine`): ``"tensor"`` ships fused
+    (profile-block x CU-slab) tensor slabs — the grid is cut along its
+    outermost axis into at most ``n_chunks`` slabs and the profiles
+    into at most ``n_chunks`` :class:`~repro.workloads.kernels.
+    ProfileBatch` blocks — while ``"point"`` ships the original
+    (profile, grid-chunk) tasks through the per-profile oracle.
 
     With ``pool=`` the sweep runs on a persistent
     :class:`~repro.perf.pool.ShardedPool` instead of a throwaway
-    executor: chunk tasks are routed by ``(profile fingerprint, chunk
-    index)``, so across repeated sweeps each worker keeps seeing the
-    chunks whose cache entries it already holds, and identical repeat
+    executor: slab tasks are routed by ``(profile-block fingerprint,
+    slab index)`` (chunk tasks by ``(profile fingerprint, chunk
+    index)``), so across repeated sweeps each worker keeps seeing the
+    slabs whose cache entries it already holds, and identical repeat
     results come back via the pool's payload dedup without re-shipping
     the arrays. ``max_workers`` is ignored on this path;
     ``n_chunks`` defaults to the pool's shard count.
 
     With ``metrics=True`` the return value is ``(result, snapshot)``:
-    every worker measures its own registry delta per chunk (per batch on
+    every worker measures its own registry delta per task (per batch on
     the pooled path) and the parent merges them, so the snapshot's cache
     hit/miss totals are the sums over all workers (one ``cache.eval``
-    lookup per chunk task).
+    lookup per task).
     """
     if not profiles:
         raise ValueError("parallel_explore needs at least one profile")
-    names = [p.name for p in profiles]
+    if isinstance(profiles, ProfileBatch):
+        names = list(profiles.names)
+    else:
+        names = [p.name for p in profiles]
     if len(set(names)) != len(names):
         raise ValueError("profile names must be unique")
+    engine = engine or default_engine()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown DSE engine {engine!r}; use one of {ENGINES}")
     space = space or DesignSpace()
     model = model or NodeModel()
 
@@ -354,6 +430,31 @@ def parallel_explore(
     if n_chunks is None:
         n_chunks = pool.n_shards if pool is not None else workers
     n_chunks = max(1, min(n_chunks, space.size))
+
+    if engine == "tensor":
+        return _explore_slabs(
+            profiles, space, model, n_chunks, workers, pool, metrics
+        )
+    if isinstance(profiles, ProfileBatch):
+        raise TypeError(
+            "engine='point' iterates KernelProfile objects; "
+            "pass the profile sequence, not a ProfileBatch"
+        )
+    return _explore_chunks(
+        profiles, space, model, n_chunks, workers, pool, metrics
+    )
+
+
+def _explore_chunks(
+    profiles: Sequence[KernelProfile],
+    space: DesignSpace,
+    model: NodeModel,
+    n_chunks: int,
+    workers: int,
+    pool: ShardedPool | None,
+    metrics: bool,
+) -> DseResult | tuple[DseResult, MetricsSnapshot]:
+    """The point engine's fan-out: (profile, grid-chunk) tasks."""
     bounds = np.linspace(0, space.size, n_chunks + 1, dtype=int)
     chunks = [
         (int(lo), int(hi))
@@ -421,6 +522,113 @@ def parallel_explore(
         performance[profile.name] = perf
         node_power[profile.name] = power
         feasible[profile.name] = power <= space.power_budget
+    result = _select_optima(space, performance, node_power, feasible)
+    if metrics:
+        return result, merged
+    return result
+
+
+def _explore_slabs(
+    profiles: Sequence[KernelProfile],
+    space: DesignSpace,
+    model: NodeModel,
+    n_chunks: int,
+    workers: int,
+    pool: ShardedPool | None,
+    metrics: bool,
+) -> DseResult | tuple[DseResult, MetricsSnapshot]:
+    """The tensor engine's fan-out: (profile-block x CU-slab) tasks.
+
+    The grid is cut only along the outermost (CU) axis, so each slab is
+    a contiguous run of flat grid columns and concatenating slab
+    results along axis 1 rebuilds the whole-grid tensors bit for bit.
+    """
+    batch = (
+        profiles
+        if isinstance(profiles, ProfileBatch)
+        else ProfileBatch.from_profiles(profiles)
+    )
+    n_slabs = max(1, min(n_chunks, len(space.cu_counts)))
+    slab_bounds = np.linspace(0, len(space.cu_counts), n_slabs + 1, dtype=int)
+    slabs = [
+        (int(lo), int(hi))
+        for lo, hi in zip(slab_bounds, slab_bounds[1:])
+        if hi > lo
+    ]
+    n_blocks = max(1, min(n_chunks, len(batch)))
+    block_bounds = np.linspace(0, len(batch), n_blocks + 1, dtype=int)
+    block_ranges = [
+        (int(lo), int(hi))
+        for lo, hi in zip(block_bounds, block_bounds[1:])
+        if hi > lo
+    ]
+    blocks = [batch[lo:hi] for lo, hi in block_ranges]
+
+    tasks = [
+        (block, slab_idx, cu_lo, cu_hi)
+        for block in blocks
+        for slab_idx, (cu_lo, cu_hi) in enumerate(slabs)
+    ]
+    results: list[tuple]
+    merged = MetricsSnapshot.empty()
+    if pool is not None:
+        model_fp = fingerprint_model(model)
+        block_fps = {id(b): fingerprint_batch(b) for b in blocks}
+        pool_tasks = [
+            PoolTask(
+                fn=_eval_slab,
+                args=(model, block, space, cu_lo, cu_hi),
+                shard_key=(block_fps[id(block)], slab_idx),
+                dedup_key=_slab_dedup_key(
+                    model_fp, block_fps[id(block)], space, cu_lo, cu_hi
+                ),
+                label=(
+                    f"dse.slab.{block.names[0]}+{len(block) - 1}"
+                    f"[cu {cu_lo}:{cu_hi}]"
+                ),
+            )
+            for block, slab_idx, cu_lo, cu_hi in tasks
+        ]
+        if metrics:
+            results, merged = pool.run(pool_tasks, metrics=True)
+        else:
+            results = pool.run(pool_tasks)
+    else:
+        slab_fn = _eval_slab_metrics if metrics else _eval_slab
+        if workers > 1 and len(tasks) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    futures = [
+                        executor.submit(slab_fn, model, b, space, lo, hi)
+                        for b, _idx, lo, hi in tasks
+                    ]
+                    results = [f.result() for f in futures]
+            except (OSError, PermissionError):
+                results = [
+                    slab_fn(model, b, space, lo, hi)
+                    for b, _idx, lo, hi in tasks
+                ]
+        else:
+            results = [
+                slab_fn(model, b, space, lo, hi)
+                for b, _idx, lo, hi in tasks
+            ]
+        if metrics:
+            for row in results:
+                merged = merged.merge(row[2])
+
+    performance: dict[str, np.ndarray] = {}
+    node_power: dict[str, np.ndarray] = {}
+    feasible: dict[str, np.ndarray] = {}
+    per_block = len(slabs)
+    for b_idx, (blo, bhi) in enumerate(block_ranges):
+        rows = results[b_idx * per_block: (b_idx + 1) * per_block]
+        perf = np.concatenate([r[0] for r in rows], axis=1)
+        power = np.concatenate([r[1] for r in rows], axis=1)
+        for j, name in enumerate(batch.names[blo:bhi]):
+            performance[name] = perf[j]
+            node_power[name] = power[j]
+            feasible[name] = power[j] <= space.power_budget
     result = _select_optima(space, performance, node_power, feasible)
     if metrics:
         return result, merged

@@ -7,10 +7,11 @@ spawn plus import cost and every per-worker
 :class:`ShardedPool` is the long-lived alternative: its workers are
 spawned once and reused across calls, and *deterministic shard routing*
 pins each task to a fixed worker — a stable SHA-1 hash of the task's
-``shard_key`` (for DSE chunks: ``(profile fingerprint, grid-chunk
-index)``) picks the shard, so a given worker always owns the same slice
-of the profile×grid space and its warm cache entries are never
-recomputed on another worker. The same locality lever work-stealing
+``shard_key`` (for DSE tensor slabs: ``(profile-block fingerprint,
+CU-slab index)``; for point-engine chunks: ``(profile fingerprint,
+grid-chunk index)``) picks the shard, so a given worker always owns the
+same slice of the profile×grid space and its warm cache entries are
+never recomputed on another worker. The same locality lever work-stealing
 runtimes and NUMA-aware schedulers pull to keep hot state resident.
 
 Scheduling policies (``policy=``):

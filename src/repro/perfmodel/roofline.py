@@ -33,13 +33,21 @@ an array; scalars in, scalars out.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.perfmodel.machine import MachineParams
-from repro.workloads.kernels import KernelProfile
+from repro.workloads.kernels import KernelProfile, ProfileBatch
 
-__all__ = ["KernelMetrics", "evaluate_kernel", "kernel_time", "smooth_max_array"]
+__all__ = [
+    "GridKernel",
+    "KernelMetrics",
+    "evaluate_kernel",
+    "evaluate_kernel_grid",
+    "kernel_time",
+    "smooth_max_array",
+]
 
 
 def smooth_max_array(a: np.ndarray, b: np.ndarray, sharpness: float) -> np.ndarray:
@@ -256,8 +264,12 @@ def evaluate_kernel(
     bw_util = np.clip(bw_util, 0.0, 1.0)
     busy = np.clip(busy, 0.0, 1.0)
 
+    # The output shape spans the hardware axes *and* any profile axis a
+    # ProfileBatch contributes: ``time`` already mixes every profile
+    # column with every hardware axis, so folding its shape in covers
+    # both the scalar-profile and the batched case.
     broadcast = np.broadcast(n_cus, freq, bandwidth, m_ext)
-    shape = broadcast.shape
+    shape = np.broadcast_shapes(broadcast.shape, np.shape(time))
 
     def _full(x) -> np.ndarray:
         return np.broadcast_to(np.asarray(x, dtype=float), shape).copy()
@@ -285,3 +297,239 @@ def kernel_time(
 ) -> np.ndarray:
     """Execution time only; see :func:`evaluate_kernel` for parameters."""
     return evaluate_kernel(profile, n_cus, freq, bandwidth, **kwargs).time
+
+
+# ----------------------------------------------------------------------
+# Fused whole-grid evaluation (the DSE tensor path)
+# ----------------------------------------------------------------------
+
+
+def _smooth_max_fused(
+    a,
+    b,
+    sharpness: float,
+    *,
+    assume_positive: bool = False,
+    m_out: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Single-exponential twin of :func:`smooth_max_array`.
+
+    Computes ``m * (1 + log(1 + exp(sharpness * (mn / m - 1))) /
+    sharpness)`` — algebraically equal to the oracle's symmetric
+    two-exponential form (the max-side exponential is exactly 1), with
+    the scale factored multiplicatively. Values agree with the oracle
+    to a few ULPs; the smooth-max overshoot is tiny relative to ``m``,
+    so the relative error of the *result* is far below 1e-12.
+
+    Both branches execute the identical operation sequence for every
+    element with ``m > 0`` (the fallback merely guards ``m <= 0``
+    elements and selects ``m`` for them afterwards, as the oracle
+    does), so data-dependent branch selection — e.g. one grid slab
+    taking the fast path while another falls back — cannot change any
+    result bit. ``assume_positive`` skips the ``np.all`` scan when the
+    caller has already proven ``m > 0`` structurally.
+
+    ``m_out``/``out`` are optional scratch buffers for the max and the
+    result (``out`` may alias ``b``). On the fast path the result *is*
+    ``out``; the fallback returns a fresh array.
+    """
+    m = np.maximum(a, b, out=m_out)
+    mn = np.minimum(a, b, out=out)
+    if assume_positive or bool(np.all(m > 0)):
+        d = np.divide(mn, m, out=mn)
+        np.subtract(d, 1.0, out=d)
+        np.multiply(d, sharpness, out=d)
+        np.exp(d, out=d)
+        np.add(d, 1.0, out=d)
+        np.log(d, out=d)
+        np.multiply(d, 1.0 / sharpness, out=d)
+        np.add(d, 1.0, out=d)
+        return np.multiply(m, d, out=d)
+    safe_m = np.where(m > 0, m, 1.0)
+    d = np.divide(mn, safe_m, out=mn)
+    np.subtract(d, 1.0, out=d)
+    np.multiply(d, sharpness, out=d)
+    np.exp(d, out=d)
+    np.add(d, 1.0, out=d)
+    np.log(d, out=d)
+    np.multiply(d, 1.0 / sharpness, out=d)
+    np.add(d, 1.0, out=d)
+    np.multiply(safe_m, d, out=d)
+    return np.where(m > 0, d, m)
+
+
+class GridKernel(NamedTuple):
+    """Raw tensors of one fused grid evaluation.
+
+    ``perf`` and ``time`` span the full ``(P, C, F, B)`` tensor;
+    ``compute_time`` stays factored on ``(P, C, F, 1)`` and
+    ``dram_traffic`` on ``(P, C, 1, 1)`` — each depends only on those
+    axes. The factored fields are exactly what
+    :func:`~repro.power.breakdown.node_power_grid` needs to finish the
+    power roll-up in two more full-tensor passes.
+    """
+
+    perf: np.ndarray
+    time: np.ndarray
+    compute_time: np.ndarray
+    dram_traffic: np.ndarray
+
+
+def evaluate_kernel_grid(
+    batch: ProfileBatch,
+    cu_axis,
+    freq_axis,
+    bw_axis,
+    *,
+    machine: MachineParams | None = None,
+) -> GridKernel:
+    """Fused whole-grid twin of :func:`evaluate_kernel` for the DSE.
+
+    Evaluates every profile row of *batch* against the full cartesian
+    grid ``cu_axis x freq_axis x bw_axis`` (three 1-D axes) in one
+    broadcast pass at the DSE operating point (all traffic in-package,
+    no extra latency). Intermediates live on the smallest axis subspace
+    that determines them — profile columns broadcast as ``(P, 1, 1,
+    1)``, CU terms as ``(C, 1, 1)``, frequency terms as ``(F, 1)``,
+    bandwidth terms as ``(B,)`` — and the full ``(P, C, F, B)`` tensor
+    is touched by roughly a dozen memory-bound passes. That axis
+    factoring, not the vectorization itself, is where the speedup over
+    per-profile sweeps comes from.
+
+    Equivalence contract with :func:`evaluate_kernel` (gated by
+    ``check_tensor_eval`` and the tensor/point equivalence tests):
+
+    * the arithmetic is the oracle's with exact identities elided
+      (``ext_fraction = 0`` external terms, dead division guards —
+      ``t_first0 >= t_compute = flops / compute_rate > 0`` since flops
+      and the axes are validated positive and a zero issue efficiency
+      gives ``t_compute = +inf``) and products/sums *reassociated* to
+      collapse full-tensor passes onto factored subspaces — e.g. the
+      Little's-law chain becomes ``coef * (1 + kappa * rho**4)`` with
+      ``coef`` precomputed on ``(P, C, 1, 1)``. Reassociation changes
+      results by a few ULPs (well inside the equivalence tests' 1e-12
+      rtol) and cannot flip DSE argmax selections: the catalog's
+      closest top-2 gap and feasibility-boundary margin are both
+      > 1e-5 relative, ~8 orders of magnitude above the noise.
+    * slab decompositions are exact: every coefficient lives on axes a
+      CU-slab slices through, and both :func:`_smooth_max_fused`
+      branches are bit-identical where ``m > 0``, so evaluating a
+      sub-grid produces bit-identical rows to slicing the whole-grid
+      result (the pool's slab path relies on this).
+    """
+    machine = machine or MachineParams()
+    cu = np.asarray(cu_axis, dtype=float).reshape(-1, 1, 1)
+    fq = np.asarray(freq_axis, dtype=float).reshape(-1, 1)
+    bw = np.asarray(bw_axis, dtype=float).reshape(-1)
+    if np.any(cu <= 0) or np.any(fq <= 0) or np.any(bw <= 0):
+        raise ValueError("n_cus, freq and bandwidth must be positive")
+
+    def col(name: str) -> np.ndarray:
+        return getattr(batch, name).reshape(-1, 1, 1, 1)
+
+    shape = (
+        len(batch.names),
+        cu.shape[0],
+        fq.shape[0],
+        bw.shape[0],
+    )
+
+    # --- compute bound [evaluate_kernel: cu_scaling / t_compute] ------
+    cu_scaling = (
+        machine.reference_cus
+        * (cu / machine.reference_cus) ** col("parallel_fraction")
+    )  # (P, C, 1, 1)
+    compute_rate = (
+        col("issue_efficiency")
+        * machine.flops_per_cu_cycle
+        * fq
+        * cu_scaling
+    )  # (P, C, F, 1)
+    t_compute = col("flops") / compute_rate  # (P, C, F, 1)
+
+    # --- traffic after cache filtering [_effective_hit_rate] ----------
+    pressure = cu / machine.reference_cus  # (C, 1, 1)
+    decay = (
+        1.0 + col("thrash_pressure") * pressure**machine.thrash_exponent
+    )  # (P, C, 1, 1)
+    hit_rate = col("cache_hit_rate") / decay  # (P, C, 1, 1)
+    llc_traffic = col("flops") * col("bytes_per_flop")  # (P, 1, 1, 1)
+    miss_traffic = llc_traffic * (1.0 - hit_rate)  # (P, C, 1, 1)
+    # ext_fraction == 0: dram_traffic = miss_traffic * 1.0, exactly.
+    dram_traffic = miss_traffic
+
+    # --- bandwidth bound (the external term is an exact + 0.0) --------
+    t_bw = dram_traffic / bw  # (P, C, 1, B)
+
+    # Materialize the two factored time components once: every later
+    # full-tensor op then runs NumPy's contiguous inner loops instead
+    # of repeating a strided broadcast (~2x per op on the short
+    # bandwidth axis). Four full-tensor buffers are all the pipeline
+    # needs; two of them leave as the perf/time results.
+    tc_full = np.empty(shape)
+    np.copyto(tc_full, t_compute)
+    tbw_full = np.empty(shape)
+    np.copyto(tbw_full, t_bw)
+    work = np.empty(shape)
+    m_buf = np.empty(shape)
+
+    # --- contention [t_first0 / rho_in] -------------------------------
+    # The oracle's rho guards are dead here: t_first0 >= t_compute > 0
+    # and 0 <= t_bw / t_first0 <= 1 by construction, so where() and
+    # clip() are identities.
+    t_first0 = np.maximum(tc_full, tbw_full, out=work)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rho = np.divide(tbw_full, t_first0, out=t_first0)
+    np.multiply(rho, rho, out=rho)  # rho**2
+    np.multiply(rho, rho, out=rho)  # rho**4 == rho**contention_exponent
+    np.multiply(rho, machine.contention_kappa, out=rho)
+    np.add(rho, 1.0, out=rho)  # 1 + kappa * rho**4
+
+    # --- latency bound [Little's law; external miss term exactly 0] ---
+    # t_latency = sensitivity * misses * latency / outstanding with
+    # latency = mem_latency * (1 + kappa rho^4) reassociates into one
+    # factored coefficient times the full contention tensor.
+    misses_in = dram_traffic / machine.cacheline_bytes  # (P, C, 1, 1)
+    outstanding = cu * col("mlp_per_cu")  # (P, C, 1, 1)
+    lat_coef = (
+        col("latency_sensitivity")
+        * misses_in
+        * machine.mem_latency
+        / outstanding
+    )  # (P, C, 1, 1)
+    t_lat = np.multiply(lat_coef, rho, out=rho)
+
+    # --- overlap ------------------------------------------------------
+    # t_lat >= 0, so max(t_bw, t_lat) > 0 wherever t_bw > 0; prove
+    # positivity on the tiny factored traffic tensor instead of
+    # scanning the full one.
+    traffic_positive = bool(np.all(dram_traffic > 0))
+    t_memory = _smooth_max_fused(
+        tbw_full,
+        t_lat,
+        machine.overlap_sharpness,
+        assume_positive=traffic_positive,
+        m_out=m_buf,
+        out=t_lat,
+    )
+    # max(t_compute, t_memory) >= t_compute > 0 always.
+    time = _smooth_max_fused(
+        tc_full,
+        t_memory,
+        machine.overlap_sharpness,
+        assume_positive=True,
+        m_out=m_buf,
+        out=t_memory,
+    )
+
+    # [KernelMetrics.flops_rate]; tbw_full is dead after the first
+    # smooth max, so it doubles as the perf output buffer.
+    perf = np.divide(col("flops"), time, out=tbw_full)
+
+    return GridKernel(
+        perf=perf,
+        time=time,
+        compute_time=t_compute,
+        dram_traffic=dram_traffic,
+    )

@@ -14,11 +14,17 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
-from repro.perfmodel.roofline import KernelMetrics
+from repro.perfmodel.roofline import GridKernel, KernelMetrics
 from repro.power.components import PowerParams
-from repro.workloads.kernels import KernelProfile
+from repro.workloads.kernels import KernelProfile, ProfileBatch
 
-__all__ = ["ExternalMemoryConfig", "PowerBreakdown", "node_power", "external_memory_power"]
+__all__ = [
+    "ExternalMemoryConfig",
+    "PowerBreakdown",
+    "node_power",
+    "node_power_grid",
+    "external_memory_power",
+]
 
 
 @dataclass(frozen=True)
@@ -247,3 +253,104 @@ def node_power(
         serdes_dynamic=_full(ser_dyn),
         serdes_static=_full(ser_stat),
     )
+
+
+def node_power_grid(
+    batch: ProfileBatch,
+    kernel: GridKernel,
+    cu_axis,
+    freq_axis,
+    bw_axis,
+    params: PowerParams | None = None,
+    ext_config: ExternalMemoryConfig | None = None,
+) -> np.ndarray:
+    """Fused whole-grid twin of :func:`node_power` for the DSE.
+
+    Consumes the tensors of one
+    :func:`~repro.perfmodel.roofline.evaluate_kernel_grid` pass and
+    returns just the total node power tensor ``(P, C, F, B)`` — the
+    feasibility subject of the exploration. Per-component breakdowns
+    (Fig. 9) keep going through the point path.
+
+    The whole roll-up reassociates into two full-tensor passes.
+    Every dynamic term is a coefficient over ``time``::
+
+        cu_dynamic  = prefix * [idle + (util - idle) * t_compute/time]
+        noc + dram3d dynamic = dram_traffic * energy_coef / time
+
+    so ``total = (cu_coef * t_compute + mem_coef * dram_traffic) /
+    time + static``, where the numerator lives on ``(P, C, F, 1)``
+    and the static sum (CU static, CPU, NoC static, 3D-DRAM static,
+    external network at ``ext_rate = 0``) on ``(C, F, B)``. The
+    reassociation perturbs results by a few ULPs relative to
+    :func:`node_power` — inside the tensor/point equivalence tests'
+    1e-12 rtol and ~5 orders of magnitude below the catalog's closest
+    feasibility-boundary margin, so the DSE's feasibility and argmax
+    bits cannot flip. Slab decompositions stay exact: every
+    coefficient is elementwise over axes a CU-slab slices through.
+
+    Scratch contract: *kernel*'s ``time`` tensor is recycled as the
+    output buffer and holds the total power afterwards.
+    """
+    params = params or PowerParams()
+    ext_config = ext_config or ExternalMemoryConfig.dram_only()
+    cu = np.asarray(cu_axis, dtype=float).reshape(-1, 1, 1)
+    fq = np.asarray(freq_axis, dtype=float).reshape(-1, 1)
+    bw = np.asarray(bw_axis, dtype=float).reshape(-1)
+
+    # [PowerParams.cu_dynamic_power] profile-independent prefix of the
+    # left-associated product, before the trailing activity factor.
+    v = params.vf.voltage(fq)
+    prefix = (
+        params.async_cu_dynamic_scale
+        * cu
+        * params.cu_ceff_farad
+        * v**2
+        * fq
+    )  # (C, F, 1)
+    cu_stat = params.cu_static_power(cu, fq)  # (C, F, 1)
+
+    # [node_power] activity = util * busy + idle * (1 - busy) with
+    # busy = t_compute / time, so
+    # cu_dynamic = prefix * idle + prefix * (util - idle) * tc / time.
+    idle = params.cu_idle_activity
+    util = batch.cu_utilization.reshape(-1, 1, 1, 1)  # (P, 1, 1, 1)
+    cu_coef = prefix * (util - idle) * kernel.compute_time  # (P, C, F, 1)
+
+    # [PowerParams.noc_dynamic_power + dram3d_dynamic_power] both are
+    # (dram_traffic / time) * 8 * energy; the NoC side additionally
+    # divides by the compression ratio when enabled and splits into
+    # router/link shares with their optimization scales.
+    noc_e = params.noc_energy_per_bit * (
+        params.noc_router_fraction * params.async_router_dynamic_scale
+        + (1.0 - params.noc_router_fraction) * params.link_dynamic_scale
+    )
+    if params.compression_enabled:
+        e_per_bit = (
+            noc_e / batch.compression_ratio.reshape(-1, 1, 1, 1)
+            + params.dram3d_energy_per_bit
+        )  # (P, 1, 1, 1)
+    else:
+        e_per_bit = noc_e + params.dram3d_energy_per_bit
+    mem_coef = kernel.dram_traffic * (8.0 * e_per_bit)  # (P, C, 1, 1)
+
+    numerator = cu_coef + mem_coef  # (P, C, F, 1)
+
+    # External network at ext_rate = 0: the dynamic terms are exact
+    # zeros, so PowerBreakdown.external collapses to the static sum.
+    mem_stat, _mem_dyn, ser_stat, _ser_dyn = external_memory_power(
+        batch, 0.0, ext_config, params
+    )
+    external = float(mem_stat) + float(ser_stat)
+    static = (
+        prefix * idle
+        + cu_stat
+        + params.cpu_cluster_watt
+        + params.noc_static_watt
+        + external
+    ) + params.dram3d_static_power(bw)  # (C, F, B)
+
+    # The only two full-tensor passes of the entire power model.
+    total = np.divide(numerator, kernel.time, out=kernel.time)
+    np.add(total, static, out=total)
+    return total

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from types import SimpleNamespace
+from typing import Mapping, Sequence
+
+import numpy as np
 
 
 class KernelCategory(enum.Enum):
@@ -166,4 +169,150 @@ class KernelProfile:
             self,
             flops=self.flops * factor,
             footprint_bytes=self.footprint_bytes * factor,
+        )
+
+
+_BATCH_FIELDS: tuple[str, ...] = (
+    "flops",
+    "bytes_per_flop",
+    "parallel_fraction",
+    "cache_hit_rate",
+    "thrash_pressure",
+    "latency_sensitivity",
+    "mlp_per_cu",
+    "ext_memory_fraction",
+    "cu_utilization",
+    "issue_efficiency",
+    "write_fraction",
+    "compression_ratio",
+    "footprint_bytes",
+)
+"""Numeric :class:`KernelProfile` fields a :class:`ProfileBatch` stacks."""
+
+
+@dataclass(frozen=True, eq=False)
+class ProfileBatch:
+    """Struct-of-arrays stack of ``P`` kernel profiles.
+
+    Each numeric :class:`KernelProfile` field (the names in
+    :data:`_BATCH_FIELDS`) becomes a float64 column of shape ``(P, 1)``.
+    The trailing singleton axis makes a column broadcast against one
+    flattened grid axis out of the box; :meth:`expand` reshapes the
+    columns for multi-axis layouts like the fused
+    ``(profile, CU, freq, BW)`` tensor pass.
+
+    The batch re-validates the profile invariants (unit intervals,
+    positive flops/MLP, compression >= 1) even when constructed from
+    raw columns: the fused evaluation path relies on them — e.g. it
+    drops division guards that are dead only because ``flops > 0``.
+    """
+
+    names: tuple[str, ...]
+    flops: np.ndarray
+    bytes_per_flop: np.ndarray
+    parallel_fraction: np.ndarray
+    cache_hit_rate: np.ndarray
+    thrash_pressure: np.ndarray
+    latency_sensitivity: np.ndarray
+    mlp_per_cu: np.ndarray
+    ext_memory_fraction: np.ndarray
+    cu_utilization: np.ndarray
+    issue_efficiency: np.ndarray
+    write_fraction: np.ndarray
+    compression_ratio: np.ndarray
+    footprint_bytes: np.ndarray
+
+    def __post_init__(self) -> None:
+        names = tuple(str(n) for n in self.names)
+        object.__setattr__(self, "names", names)
+        if not names:
+            raise ValueError("a ProfileBatch needs at least one profile")
+        if len(set(names)) != len(names):
+            raise ValueError("profile names must be unique")
+        expected = (len(names), 1)
+        for fname in _BATCH_FIELDS:
+            col = np.asarray(getattr(self, fname), dtype=float)
+            if col.shape != expected:
+                raise ValueError(
+                    f"{fname} column must have shape {expected}, "
+                    f"got {col.shape}"
+                )
+            object.__setattr__(self, fname, col)
+        for fname in (
+            "parallel_fraction",
+            "cache_hit_rate",
+            "latency_sensitivity",
+            "ext_memory_fraction",
+            "cu_utilization",
+            "issue_efficiency",
+            "write_fraction",
+        ):
+            col = getattr(self, fname)
+            if np.any(col < 0.0) or np.any(col > 1.0):
+                raise ValueError(f"{fname} must be in [0, 1]")
+        for fname in ("flops", "mlp_per_cu", "footprint_bytes"):
+            if np.any(getattr(self, fname) <= 0):
+                raise ValueError(f"{fname} must be positive")
+        if np.any(self.compression_ratio < 1.0):
+            raise ValueError("compression_ratio must be >= 1.0")
+        for fname in ("bytes_per_flop", "thrash_pressure"):
+            if np.any(getattr(self, fname) < 0):
+                raise ValueError(f"{fname} must be non-negative")
+
+    @classmethod
+    def from_profiles(
+        cls, profiles: Sequence[KernelProfile]
+    ) -> "ProfileBatch":
+        """Stack validated profiles into columns, preserving order."""
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("a ProfileBatch needs at least one profile")
+        columns = {
+            fname: np.array(
+                [[float(getattr(p, fname))] for p in profiles], dtype=float
+            )
+            for fname in _BATCH_FIELDS
+        }
+        return cls(names=tuple(p.name for p in profiles), **columns)
+
+    @staticmethod
+    def field_names() -> tuple[str, ...]:
+        """The stacked column names, in declaration order."""
+        return _BATCH_FIELDS
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __getitem__(self, index) -> "ProfileBatch":
+        """Row-slice the batch (``batch[2:5]``) into a smaller batch."""
+        if isinstance(index, (int, np.integer)):
+            index = slice(index, index + 1 or None)
+        if not isinstance(index, slice):
+            raise TypeError("ProfileBatch supports int/slice indexing only")
+        names = self.names[index]
+        if not names:
+            raise IndexError("empty ProfileBatch slice")
+        return ProfileBatch(
+            names=names,
+            **{f: getattr(self, f)[index] for f in _BATCH_FIELDS},
+        )
+
+    def expand(self, hw_axes: int) -> SimpleNamespace:
+        """A duck-typed profile whose columns lead *hw_axes* hardware axes.
+
+        Each ``(P, 1)`` column is reshaped to ``(P, 1, ..., 1)`` with
+        *hw_axes* trailing singletons, so it broadcasts against any
+        hardware-axis layout of that many dimensions. The result quacks
+        like a :class:`KernelProfile` wherever only the numeric fields
+        are read (:func:`repro.perfmodel.roofline.evaluate_kernel`,
+        :func:`repro.power.breakdown.node_power`).
+        """
+        if hw_axes < 1:
+            raise ValueError("hw_axes must be >= 1")
+        shape = (len(self),) + (1,) * int(hw_axes)
+        return SimpleNamespace(
+            names=self.names,
+            **{
+                f: getattr(self, f).reshape(shape) for f in _BATCH_FIELDS
+            },
         )

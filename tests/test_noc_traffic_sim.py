@@ -136,19 +136,14 @@ class TestNocSimulator:
         res = sim.run(msgs)
         assert res.p99_latency >= res.mean_latency * 0.99
 
-    def test_links_property_warns_and_matches_link_stats(self):
+    def test_links_property_removed(self):
+        # The deprecated NocSimulator.links alias was removed after one
+        # deprecation cycle; link stats live on the SimResult.
         sim = NocSimulator()
         msgs = [
             SimMessage("gpu0", "dram5", 4096, i * 1e-8) for i in range(50)
         ]
         res = sim.run(msgs)
-        with pytest.warns(
-            DeprecationWarning, match="use SimResult.link_stats"
-        ):
-            legacy = sim.links
-        assert legacy == res.link_stats
-        assert legacy  # the run really touched links
-
-    def test_links_property_empty_before_any_run(self):
-        with pytest.warns(DeprecationWarning):
-            assert NocSimulator().links == {}
+        assert res.link_stats
+        with pytest.raises(AttributeError):
+            sim.links

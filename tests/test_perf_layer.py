@@ -156,19 +156,25 @@ class TestEvalCache:
         assert stats.entries == 1 and stats.evictions == 1
 
     def test_explore_uses_cache(self):
+        # The default tensor engine memoizes one whole-grid entry per
+        # (batch, model, space); repeat explores are pure lookups.
         cache = EvalCache()
         profiles = [get_application("CoMD"), get_application("SNAP")]
         r1 = explore(profiles, cache=cache)
-        assert cache.stats().misses == len(profiles)
+        assert cache.stats().misses == 1
         r2 = explore(profiles, cache=cache)
-        assert cache.stats().hits == len(profiles)
+        assert cache.stats().hits == 1
         assert r1.best_mean_index == r2.best_mean_index
         for name in r1.performance:
             assert np.array_equal(r1.performance[name], r2.performance[name])
         # Bypass leaves the counters untouched and agrees numerically.
         r3 = explore(profiles, cache=False)
-        assert cache.stats().requests == 2 * len(profiles)
+        assert cache.stats().requests == 2
         assert r3.best_mean_index == r1.best_mean_index
+        # The point engine keeps the per-profile entries.
+        r4 = explore(profiles, cache=cache, engine="point")
+        assert cache.stats().misses == 1 + len(profiles)
+        assert r4.best_mean_index == r1.best_mean_index
 
     def test_cached_helper_matches_direct(self):
         model = NodeModel()
@@ -344,12 +350,12 @@ class TestNocFastPath:
         util = res.link_utilization()
         assert util and all(0.0 <= u <= 1.0 for u in util.values())
 
-    def test_links_attribute_deprecated(self):
+    def test_links_attribute_removed(self):
         sim = NocSimulator()
         res = sim.run(self._messages())
-        with pytest.deprecated_call():
-            legacy = sim.links
-        assert legacy == dict(res.link_stats)
+        assert res.link_stats
+        with pytest.raises(AttributeError):
+            sim.links
 
     def test_simulator_utilization_requires_run(self):
         sim = NocSimulator()

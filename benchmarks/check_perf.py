@@ -30,6 +30,10 @@ replicated below) and asserts the speedup ratios the layer promises:
   ``evaluate_arrays`` loop on a full Table-II-scale sweep, with the
   DSE's ``best_mean_index``/``per_app_best_index`` selections
   bit-identical between the two engines,
+* the serving layer: warm sustained throughput >= 5x the naive
+  one-request-per-``pool.run`` baseline, p99 latency within the
+  configured deadline with < 1% shed at the rated open-loop load, and
+  every served response bit-identical to a direct serial evaluation,
 
 plus numerical agreement (1e-9) between fast and reference paths.
 
@@ -714,6 +718,132 @@ def check_tensor_eval(quick: bool) -> list[str]:
     return failures
 
 
+def check_serve(quick: bool) -> list[str]:
+    """The serving layer's three acceptance gates.
+
+    * **Identity** — a mixed burst of point/sweep requests served
+      through the pooled, coalescing service must answer bit-identical
+      to :func:`repro.serve.service.serial_answer` on every request.
+    * **Capacity** — warm sustained closed-loop throughput must beat
+      the naive one-``pool.run``-per-request baseline >= 5x (the
+      coalescing + inline-cache promise).
+    * **Tail latency** — replaying an open-loop Poisson schedule at a
+      rated load (a quarter of measured capacity, capped) must keep
+      p99 within the configured deadline with < 1% shed + expiry.
+    """
+    import asyncio
+
+    from repro.core.node import NodeModel
+    from repro.perf.evalcache import EvalCache
+    from repro.perf.pool import ShardedPool
+    from repro.serve.bench import naive_baseline_rps, run_arrivals
+    from repro.serve.requests import OK, PointResult
+    from repro.serve.service import EvalService, serial_answer
+    from repro.serve.workload import synthetic_arrivals
+
+    n = 96 if quick else 240
+    deadline_s = 0.25
+    model = NodeModel()
+    cache = EvalCache()  # private: the gate measures its own warmth
+    failures: list[str] = []
+
+    with ShardedPool(2) as pool:
+        # Identity: every served answer vs the serial oracle.
+        identity_arrivals = synthetic_arrivals(7, 32, deadline_s=None)
+
+        async def serve_burst():
+            service = EvalService(
+                model=model, pool=pool, cache=EvalCache(),
+                batch_window_s=0.01,
+            )
+            async with service:
+                return await asyncio.gather(
+                    *(service.submit(a.request) for a in identity_arrivals)
+                )
+
+        responses = asyncio.run(serve_burst())
+        mismatches = 0
+        for arrival, response in zip(identity_arrivals, responses):
+            if response.status != OK:
+                mismatches += 1
+                continue
+            oracle = serial_answer(arrival.request, model)
+            if isinstance(oracle, PointResult):
+                same = response.value == oracle
+            else:  # DseResult
+                same = (
+                    response.value.best_mean_index
+                    == oracle.best_mean_index
+                    and dict(response.value.per_app_best_index)
+                    == dict(oracle.per_app_best_index)
+                    and all(
+                        np.array_equal(
+                            response.value.performance[a],
+                            oracle.performance[a],
+                        )
+                        for a in oracle.performance
+                    )
+                )
+            if not same:
+                mismatches += 1
+
+        # Capacity: warm closed-loop burst vs the naive baseline.
+        # Best-of on both sides, like the other timing gates: one bad
+        # scheduler quantum must not fail the run.
+        repeats = 2 if quick else 3
+        arrivals = synthetic_arrivals(0, n, deadline_s=deadline_s)
+        run_arrivals(arrivals, model=model, pool=pool, cache=cache)  # warm
+        report = max(
+            (
+                run_arrivals(arrivals, model=model, pool=pool, cache=cache)
+                for _ in range(repeats)
+            ),
+            key=lambda r: r.throughput_rps,
+        )
+        base_rps = max(
+            naive_baseline_rps(arrivals, pool, model)
+            for _ in range(repeats)
+        )
+        speedup = report.throughput_rps / base_rps if base_rps else 0.0
+
+        # Tail latency at the rated open-loop load.
+        rate_hz = max(100.0, min(report.throughput_rps / 4.0, 5000.0))
+        open_arrivals = synthetic_arrivals(
+            1, n, rate_hz=rate_hz, deadline_s=deadline_s
+        )
+        open_report = run_arrivals(
+            open_arrivals, model=model, pool=pool, cache=cache
+        )
+
+    print(f"serve {n} requests: warm {report.throughput_rps:.0f} req/s vs "
+          f"naive {base_rps:.0f} req/s -> {speedup:.1f}x; open loop @ "
+          f"{rate_hz:.0f} Hz: p99 {open_report.p99_ms:.2f} ms "
+          f"(deadline {deadline_s * 1e3:.0f} ms), shed "
+          f"{open_report.shed_fraction * 100.0:.2f}% "
+          f"(identity mismatches: {mismatches})")
+
+    if mismatches:
+        failures.append(
+            f"serve answers diverged from serial oracle on "
+            f"{mismatches}/{len(identity_arrivals)} requests"
+        )
+    if speedup < 5.0:
+        failures.append(
+            f"serve warm throughput {speedup:.1f}x naive baseline < 5x"
+        )
+    if open_report.p99_ms > deadline_s * 1e3:
+        failures.append(
+            f"serve open-loop p99 {open_report.p99_ms:.1f} ms over the "
+            f"{deadline_s * 1e3:.0f} ms deadline"
+        )
+    if open_report.shed_fraction >= 0.01:
+        failures.append(
+            f"serve shed {open_report.shed_fraction * 100.0:.1f}% >= 1% "
+            f"at the rated load"
+        )
+    return failures
+
+
 CHECKS = (
     ("thermal", check_thermal),
     ("noc", check_noc),
@@ -723,6 +853,7 @@ CHECKS = (
     ("obs_overhead", check_obs_overhead),
     ("pool_affinity", check_pool_affinity),
     ("tensor_eval", check_tensor_eval),
+    ("serve", check_serve),
 )
 
 

@@ -14,6 +14,11 @@ Usage::
     python -m repro table2 --engine point
                                         # per-profile oracle DSE engine
                                         # (default: fused tensor passes)
+    python -m repro serve               # serve benchmark: async batched
+                                        # front-end vs naive per-request
+                                        # pool round-trips
+    python -m repro serve --serve-rate 500 --serve-requests 400
+                                        # open-loop tail-latency run
 """
 
 from __future__ import annotations
@@ -35,8 +40,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "artifacts",
-        nargs="+",
-        help="experiment ids (see 'list'), or 'all', or 'list'",
+        nargs="*",
+        help=(
+            "experiment ids (see 'list'), or 'all', 'list', or 'serve' "
+            "(run the serving-layer benchmark)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -88,12 +96,86 @@ def main(argv: list[str] | None = None) -> int:
             "JSON to PATH (open in chrome://tracing or Perfetto)"
         ),
     )
+    serve_group = parser.add_argument_group("serving benchmark")
+    serve_group.add_argument(
+        "--serve-bench",
+        action="store_true",
+        help="run the serving-layer benchmark (same as artifact 'serve')",
+    )
+    serve_group.add_argument(
+        "--serve-requests",
+        type=int,
+        metavar="N",
+        default=200,
+        help="requests in the synthetic trace (default 200)",
+    )
+    serve_group.add_argument(
+        "--serve-rate",
+        type=float,
+        metavar="HZ",
+        default=None,
+        help=(
+            "open-loop Poisson arrival rate; omitted = closed-loop "
+            "burst (capacity measurement)"
+        ),
+    )
+    serve_group.add_argument(
+        "--serve-seed",
+        type=int,
+        metavar="SEED",
+        default=0,
+        help="arrival-trace seed (default 0)",
+    )
+    serve_group.add_argument(
+        "--serve-deadline-ms",
+        type=float,
+        metavar="MS",
+        default=250.0,
+        help="per-request deadline in ms; 0 disables (default 250)",
+    )
+    serve_group.add_argument(
+        "--serve-baseline",
+        action="store_true",
+        help=(
+            "also measure the naive one-request-per-pool-call baseline "
+            "and report the speedup"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.artifacts == ["list"]:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    if args.serve_bench or args.artifacts == ["serve"]:
+        from repro.serve.bench import run_serve_bench
+
+        report = run_serve_bench(
+            seed=args.serve_seed,
+            n_requests=args.serve_requests,
+            rate_hz=args.serve_rate,
+            shards=args.pool_shards or 2,
+            deadline_s=(
+                args.serve_deadline_ms / 1e3
+                if args.serve_deadline_ms > 0
+                else None
+            ),
+            baseline=args.serve_baseline,
+        )
+        print(report.render())
+        if args.metrics_out:
+            from repro.obs.manifest import write_manifest
+
+            write_manifest(
+                args.metrics_out,
+                command="serve-bench",
+                extra={"serve_bench": report.as_dict()},
+            )
+        return 0
+
+    if not args.artifacts:
+        parser.error("no artifacts requested (try 'list' or 'serve')")
 
     from repro.core import dse
     from repro.util import alloctune

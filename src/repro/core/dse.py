@@ -32,6 +32,7 @@ __all__ = [
     "default_engine",
     "set_default_engine",
     "explore",
+    "select_optima",
     "best_mean_config",
     "best_config_for",
 ]
@@ -207,20 +208,21 @@ def explore(
                 node_power[profile.name] = power
                 feasible[profile.name] = power <= space.power_budget
 
-        result = _select_optima(space, performance, node_power, feasible)
+        result = select_optima(space, performance, node_power, feasible)
     obs_metrics.inc("dse.explores")
     obs_metrics.inc("dse.grid_points", int(cus.size) * len(profiles))
     return result
 
 
-def _select_optima(
+def select_optima(
     space: DesignSpace,
     performance: Mapping[str, np.ndarray],
     node_power: Mapping[str, np.ndarray],
     feasible: Mapping[str, np.ndarray],
 ) -> DseResult:
     """Locate the best-mean and per-application optima on evaluated
-    grids (shared by :func:`explore` and the chunked parallel sweep)."""
+    grids (shared by :func:`explore`, the chunked parallel sweep, and
+    the serving layer's sweep responses)."""
     names = list(performance)
     all_feasible = np.stack(list(feasible.values())).all(axis=0)
     if not all_feasible.any():
@@ -248,6 +250,11 @@ def _select_optima(
         best_mean_index=best_mean_index,
         per_app_best_index=per_app_best,
     )
+
+
+# Backwards-compatible alias (pre-serve callers imported the private
+# name).
+_select_optima = select_optima
 
 
 def best_mean_config(

@@ -32,6 +32,7 @@ structure the registry interprets.
 
 from __future__ import annotations
 
+import math
 import threading
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -80,6 +81,27 @@ class HistogramSnapshot:
     def mean(self) -> float:
         """Mean observed value (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Conservative quantile estimate from the fixed buckets.
+
+        Returns the upper bound of the bucket the *q*-th observation
+        falls in — an over-estimate by at most one bucket width, which
+        is the right bias for deadline math (the serving layer sizes
+        batches off these). The overflow bucket reports ``inf``; an
+        empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for bound, count in zip(self.bounds, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return float("inf")
 
     def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
         """Bucket-wise sum; both sides must share bucket bounds."""

@@ -318,6 +318,42 @@ class _KeyedMemo:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def _peek(self, key: tuple):
+        """Non-computing probe: the cached value, or ``None``.
+
+        Counts (and publishes) a hit when found — the serving layer's
+        inline path is a real cache hit — but a miss counts nothing:
+        the caller will route the request through a computing path
+        whose own lookup records the miss, and double-counting would
+        skew the hit rates the pool's affinity checks gate on. Probes
+        memory first, then the spill directory.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                _obs_metrics.inc(self._metric_hits)
+                return cached
+        if self.spill_dir is not None:
+            loaded = self._spill_load(key)
+            if loaded is not _SPILL_MISS:
+                with self._lock:
+                    self._spill_hits += 1
+                    self._insert_locked(key, loaded)
+                _obs_metrics.inc(self._metric_spill_hits)
+                return loaded
+        return None
+
+    def _seed(self, key: tuple, value) -> None:
+        """Insert a value computed elsewhere (e.g. carved out of a
+        merged serve batch) without touching the hit/miss counters.
+        Spills like a computed entry so warm starts see it too."""
+        if self.spill_dir is not None:
+            self._spill_store(key, value)
+        with self._lock:
+            self._insert_locked(key, value)
+
     def _get_or_compute(self, key: tuple, compute: Callable[[], object]):
         with self._lock:
             cached = self._entries.get(key)
@@ -374,6 +410,14 @@ class EvalCache(_KeyedMemo):
 
     metrics_prefix = "cache.eval"
 
+    def __init__(
+        self, maxsize: int | None = None, spill_dir: str | None = None
+    ):
+        super().__init__(maxsize, spill_dir)
+        # (object ids, model fp, space id, slab) -> (pins, grid key);
+        # see grid_key().
+        self._grid_key_memo: dict[tuple, tuple] = {}
+
     # ------------------------------------------------------------------
     def _key(
         self,
@@ -423,6 +467,38 @@ class EvalCache(_KeyedMemo):
             ),
         )
 
+    @staticmethod
+    def _resolve_grid(
+        profiles, space: DesignSpace, cu_lo: int, cu_hi: int | None
+    ) -> tuple[ProfileBatch, DesignSpace]:
+        """Normalize grid-call arguments: stack loose profiles into a
+        batch, carve the CU slab out of *space*."""
+        if isinstance(profiles, ProfileBatch):
+            batch = profiles
+        else:
+            batch = ProfileBatch.from_profiles(profiles)
+        if cu_lo != 0 or cu_hi is not None:
+            import dataclasses
+
+            sub = space.cu_counts[cu_lo:cu_hi]
+            if not sub:
+                raise ValueError(
+                    f"empty CU slab [{cu_lo}:{cu_hi}] of {space.cu_counts}"
+                )
+            space = dataclasses.replace(space, cu_counts=sub)
+        return batch, space
+
+    @staticmethod
+    def _grid_key(
+        model: NodeModel, batch: ProfileBatch, space: DesignSpace
+    ) -> tuple:
+        return (
+            "grid",
+            fingerprint_batch(batch),
+            fingerprint_model(model),
+            _digest(repr(space)),
+        )
+
     def evaluate_grid(
         self,
         model: NodeModel,
@@ -441,28 +517,88 @@ class EvalCache(_KeyedMemo):
         :class:`~repro.workloads.kernels.ProfileBatch` or a sequence of
         profiles.
         """
-        if isinstance(profiles, ProfileBatch):
-            batch = profiles
-        else:
-            batch = ProfileBatch.from_profiles(profiles)
-        if cu_lo != 0 or cu_hi is not None:
-            import dataclasses
-
-            sub = space.cu_counts[cu_lo:cu_hi]
-            if not sub:
-                raise ValueError(
-                    f"empty CU slab [{cu_lo}:{cu_hi}] of {space.cu_counts}"
-                )
-            space = dataclasses.replace(space, cu_counts=sub)
-        key = (
-            "grid",
-            fingerprint_batch(batch),
-            fingerprint_model(model),
-            _digest(repr(space)),
-        )
+        batch, space = self._resolve_grid(profiles, space, cu_lo, cu_hi)
+        key = self._grid_key(model, batch, space)
         return self._get_or_compute(
             key, lambda: model.evaluate_grid(batch, space)
         )
+
+    def peek_grid(
+        self,
+        model: NodeModel,
+        profiles,
+        space: DesignSpace,
+        cu_lo: int = 0,
+        cu_hi: int | None = None,
+    ) -> GridEvaluation | None:
+        """The cached grid for these arguments, or ``None`` — never
+        computes. The serving layer's inline-answer probe."""
+        batch, space = self._resolve_grid(profiles, space, cu_lo, cu_hi)
+        return self._peek(self._grid_key(model, batch, space))
+
+    def grid_key(
+        self,
+        model: NodeModel,
+        profiles,
+        space: DesignSpace,
+        cu_lo: int = 0,
+        cu_hi: int | None = None,
+    ) -> tuple:
+        """The opaque cache key ``peek_grid``/``seed_grid`` would use.
+
+        Fingerprinting a batch is ~100x the cost of the lookup itself,
+        so callers that probe the same (profiles, space) template
+        repeatedly — the serving layer's inline path — compute the key
+        once and replay it through :meth:`peek_grid_key`.
+
+        Repeat calls with the *same objects* (profiles, space — frozen
+        dataclasses, so identity implies equality) are memoized; the
+        model is always re-fingerprinted, so in-place model mutation
+        stays safe.
+        """
+        if isinstance(profiles, ProfileBatch):
+            pin: object = profiles
+            ids: tuple = (id(profiles),)
+        else:
+            profiles = list(profiles)
+            pin = tuple(profiles)
+            ids = tuple(map(id, profiles))
+        memo_key = (ids, fingerprint_model(model), id(space), cu_lo, cu_hi)
+        memo = self._grid_key_memo
+        entry = memo.get(memo_key)
+        if entry is not None:
+            return entry[1]
+        batch, sub = self._resolve_grid(profiles, space, cu_lo, cu_hi)
+        key = self._grid_key(model, batch, sub)
+        if len(memo) >= 4096:
+            memo.clear()
+        # The pinned objects keep every id() in memo_key from being
+        # recycled while the entry lives.
+        memo[memo_key] = ((pin, space), key)
+        return key
+
+    def peek_grid_key(self, key: tuple) -> GridEvaluation | None:
+        """:meth:`peek_grid` by a precomputed :meth:`grid_key`."""
+        return self._peek(key)
+
+    def seed_grid(
+        self,
+        model: NodeModel,
+        profiles,
+        space: DesignSpace,
+        value: GridEvaluation,
+        cu_lo: int = 0,
+        cu_hi: int | None = None,
+    ) -> None:
+        """Insert a grid computed elsewhere under these arguments' key.
+
+        The serving layer carves per-request grids out of merged batch
+        evaluations (bit-identical to evaluating them directly — the
+        PR-6 composition identities) and seeds them here so the next
+        identical request hits inline.
+        """
+        batch, space = self._resolve_grid(profiles, space, cu_lo, cu_hi)
+        self._seed(self._grid_key(model, batch, space), value)
 
     def invalidate(
         self,
@@ -560,6 +696,16 @@ class SimCache(_KeyedMemo):
 
     metrics_prefix = "cache.sim"
 
+    @staticmethod
+    def _run_key(
+        trace: MemoryTrace, simulator: ApuSimulator
+    ) -> tuple:
+        return (
+            fingerprint_sim_config(simulator.config),
+            fingerprint_trace(trace),
+            simulator.engine,
+        )
+
     def run(
         self,
         trace: MemoryTrace,
@@ -568,12 +714,32 @@ class SimCache(_KeyedMemo):
     ) -> ApuSimResult:
         """Cached equivalent of ``ApuSimulator(config, engine).run(trace)``."""
         simulator = ApuSimulator(config, engine=engine or "array")
-        key = (
-            fingerprint_sim_config(simulator.config),
-            fingerprint_trace(trace),
-            simulator.engine,
-        )
+        key = self._run_key(trace, simulator)
         return self._get_or_compute(key, lambda: simulator.run(trace))
+
+    def peek_run(
+        self,
+        trace: MemoryTrace,
+        config: ApuSimConfig | None = None,
+        engine: str | None = None,
+    ) -> ApuSimResult | None:
+        """The cached simulation for these arguments, or ``None`` —
+        never simulates (the serving layer's inline probe)."""
+        simulator = ApuSimulator(config, engine=engine or "array")
+        return self._peek(self._run_key(trace, simulator))
+
+    def seed_run(
+        self,
+        trace: MemoryTrace,
+        value: ApuSimResult,
+        config: ApuSimConfig | None = None,
+        engine: str | None = None,
+    ) -> None:
+        """Insert a simulation computed elsewhere (a pool worker) under
+        these arguments' key, so the next identical request hits
+        :meth:`peek_run` inline."""
+        simulator = ApuSimulator(config, engine=engine or "array")
+        self._seed(self._run_key(trace, simulator), value)
 
 
 _default_sim_cache = SimCache()

@@ -76,7 +76,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import DesignSpace
-from repro.core.dse import ENGINES, DseResult, _select_optima, default_engine
+from repro.core.dse import ENGINES, DseResult, default_engine, select_optima
 from repro.core.node import NodeModel
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.runner import ExperimentResult
@@ -522,7 +522,7 @@ def _explore_chunks(
         performance[profile.name] = perf
         node_power[profile.name] = power
         feasible[profile.name] = power <= space.power_budget
-    result = _select_optima(space, performance, node_power, feasible)
+    result = select_optima(space, performance, node_power, feasible)
     if metrics:
         return result, merged
     return result
@@ -629,7 +629,7 @@ def _explore_slabs(
             performance[name] = perf[j]
             node_power[name] = power[j]
             feasible[name] = power[j] <= space.power_budget
-    result = _select_optima(space, performance, node_power, feasible)
+    result = select_optima(space, performance, node_power, feasible)
     if metrics:
         return result, merged
     return result

@@ -332,7 +332,18 @@ class ShardedPool:
         return worker
 
     def _restart(self, index: int) -> _Worker:
-        """Replace a dead (or doomed) worker; counts as a restart."""
+        """Replace a dead (or doomed) worker; counts as a restart.
+
+        Refuses once the pool is closed: the ``weakref.finalize``
+        teardown has already run (it runs at most once), so a worker
+        respawned after shutdown would never be cleaned up — and the
+        run that wanted it must fail out instead of silently leaking
+        processes and hanging on futures nobody will answer.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "pool was shut down while a run was in flight"
+            )
         old = self._workers[index]
         if old is not None:
             if old.process.is_alive():
@@ -361,7 +372,14 @@ class ShardedPool:
             worker.process.join(timeout=5.0)
 
     def shutdown(self) -> None:
-        """Stop every worker and close the pool (idempotent)."""
+        """Stop every worker and close the pool (idempotent).
+
+        Safe to call while a :meth:`run` is in flight (e.g. from
+        another thread, as the serving layer's close path can): the
+        run fails promptly with a ``RuntimeError`` instead of hanging
+        on — or leaking replacement workers for — batches that will
+        never be answered.
+        """
         self._closed = True
         self._finalizer()
 
@@ -603,6 +621,15 @@ class ShardedPool:
 
         restarts_at_start = self._restarts
         while True:
+            if self._closed:
+                # shutdown() raced this run: every worker is dead or
+                # dying and the finalizer will not run again, so bail
+                # out promptly instead of spinning on requeue/respawn.
+                remaining = n_tasks - completed
+                raise RuntimeError(
+                    f"pool was shut down while a run was in flight "
+                    f"({remaining} of {n_tasks} tasks unfinished)"
+                )
             for worker_index in range(self.n_shards):
                 if worker_index not in inflight:
                     dispatch(worker_index)

@@ -1,0 +1,99 @@
+"""Adaptive batch sizing from the obs timing histograms.
+
+The batcher needs two numbers: how many requests to coalesce per
+dispatch, and how long one queued request is expected to take (the
+deadline-shedding estimate). Both come from the ``serve.*`` metrics the
+service already publishes to :mod:`repro.obs.metrics` — specifically
+the ``serve.batch_seconds`` timing histogram and the
+``serve.batch_requests`` counter, whose ratio is the measured warm
+per-request service time.
+
+The sizing rule::
+
+    est  = batch_seconds.total / batch_requests      (measured)
+    size = clamp(target_batch_seconds / est, min_batch, max_batch)
+
+i.e. the batch is sized so one dispatch occupies the pool for about
+``target_batch_seconds`` — long enough to amortize the pipe round-trip
+and tensor-slab setup, short enough that a batch never holds the queue
+hostage for a deadline-sized chunk of time. A cold policy (no
+observations yet) falls back to ``default_request_seconds``.
+
+Reading the registry takes its lock and copies every counter, so the
+estimate is *cached*: the service calls :meth:`refresh` once per
+completed batch (not per request), which is both cheap and exactly as
+fresh as the data — the histogram only changes when a batch completes.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["AdaptiveBatchPolicy"]
+
+
+class AdaptiveBatchPolicy:
+    """Histogram-driven sizing policy for :class:`BatcherCore`.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to read;
+        ``None`` uses the process-wide default (what the live service
+        publishes into). Tests inject a private registry.
+    min_batch / max_batch:
+        Clamp bounds on the batch limit.
+    target_batch_seconds:
+        Desired wall time of one dispatched batch.
+    default_request_seconds:
+        Cold-start per-request estimate, used until the first batch
+        completes.
+    dispatch_overhead_s:
+        Fixed per-dispatch overhead added to the admission estimate
+        (pipe round-trip + planning).
+    """
+
+    def __init__(
+        self,
+        registry: "obs_metrics.MetricsRegistry | None" = None,
+        *,
+        min_batch: int = 1,
+        max_batch: int = 64,
+        target_batch_seconds: float = 0.02,
+        default_request_seconds: float = 2e-3,
+        dispatch_overhead_s: float = 1e-3,
+    ):
+        if min_batch < 1 or max_batch < min_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        if target_batch_seconds <= 0 or default_request_seconds <= 0:
+            raise ValueError("time parameters must be positive")
+        self._registry = (
+            registry
+            if registry is not None
+            else obs_metrics.default_registry()
+        )
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.target_batch_seconds = float(target_batch_seconds)
+        self.default_request_seconds = float(default_request_seconds)
+        self.dispatch_overhead_s = float(dispatch_overhead_s)
+        self._est = self.default_request_seconds
+
+    def refresh(self) -> float:
+        """Re-read the registry; returns the new per-request estimate."""
+        snap = self._registry.snapshot()
+        hist = snap.histograms.get("serve.batch_seconds")
+        requests = snap.counter("serve.batch_requests")
+        if hist is not None and hist.count and requests > 0:
+            self._est = max(1e-9, hist.total / requests)
+        return self._est
+
+    def est_request_seconds(self) -> float:
+        """Cached measured (or default) per-request service time."""
+        return self._est
+
+    def batch_limit(self) -> int:
+        """Batch size targeting :attr:`target_batch_seconds` per
+        dispatch, clamped to ``[min_batch, max_batch]``."""
+        size = int(self.target_batch_seconds / self._est)
+        return max(self.min_batch, min(self.max_batch, size))

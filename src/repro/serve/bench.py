@@ -1,0 +1,289 @@
+"""Serve benchmark: sustained throughput and tail latency under load.
+
+Two measurements, matching the check_serve gate:
+
+* **Capacity (closed-loop burst)** — submit every request at once and
+  measure wall time; compared against the *naive baseline* that issues
+  one ``pool.run`` round-trip per request with no coalescing, no
+  slabs, no inline cache. The gate requires the warm batched service
+  to sustain ≥5x the naive rate.
+* **Open-loop rated load** — replay a Poisson arrival schedule at a
+  configured rate and measure p50/p99 latency, shed and expiry counts.
+  The gate requires p99 within the configured deadline with <1% shed.
+
+``python -m repro serve`` / ``--serve-bench`` routes here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.node import NodeModel
+from repro.perf.evalcache import EvalCache, SimCache
+from repro.perf.pool import PoolTask, ShardedPool
+from repro.serve.adaptive import AdaptiveBatchPolicy
+from repro.serve.requests import (
+    OK,
+    PointRequest,
+    ServeResponse,
+    SweepRequest,
+)
+from repro.serve.service import EvalService, _serve_eval_slab
+from repro.serve.workload import Arrival, synthetic_arrivals
+
+__all__ = ["ServeBenchReport", "run_arrivals", "run_serve_bench"]
+
+
+@dataclass(frozen=True)
+class ServeBenchReport:
+    """Outcome of one serve benchmark run."""
+
+    n_requests: int
+    wall_s: float
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    ok: int
+    shed: int
+    expired: int
+    failed: int
+    inline_hits: int
+    coalesced: int
+    degraded: int
+    solo: int
+    batches: int
+    pool_worker_restarts: int
+    baseline_rps: float | None = None
+    speedup: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def shed_fraction(self) -> float:
+        """Shed + expired share of all requests."""
+        if not self.n_requests:
+            return 0.0
+        return (self.shed + self.expired) / self.n_requests
+
+    def as_dict(self) -> dict:
+        out = {
+            k: getattr(self, k)
+            for k in (
+                "n_requests", "wall_s", "throughput_rps", "p50_ms",
+                "p99_ms", "ok", "shed", "expired", "failed",
+                "inline_hits", "coalesced", "degraded", "solo",
+                "batches", "pool_worker_restarts", "baseline_rps",
+                "speedup",
+            )
+        }
+        out["shed_fraction"] = self.shed_fraction
+        out.update(self.extra)
+        return out
+
+    def render(self) -> str:
+        lines = [
+            "serve bench:",
+            f"  requests      {self.n_requests}  "
+            f"(ok {self.ok}, shed {self.shed}, expired {self.expired}, "
+            f"failed {self.failed})",
+            f"  wall          {self.wall_s * 1e3:.1f} ms  "
+            f"({self.throughput_rps:.0f} req/s)",
+            f"  latency       p50 {self.p50_ms:.2f} ms, "
+            f"p99 {self.p99_ms:.2f} ms",
+            f"  paths         inline {self.inline_hits}, "
+            f"coalesced {self.coalesced}, degraded {self.degraded}, "
+            f"solo {self.solo}  ({self.batches} batches)",
+        ]
+        if self.baseline_rps is not None:
+            lines.append(
+                f"  naive base    {self.baseline_rps:.0f} req/s  "
+                f"-> {self.speedup:.1f}x"
+            )
+        return "\n".join(lines)
+
+
+async def _replay(
+    service: EvalService, arrivals: Sequence[Arrival]
+) -> list[ServeResponse]:
+    """Submit *arrivals* on their open-loop schedule; returns responses
+    in arrival order."""
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def one(arrival: Arrival) -> ServeResponse:
+        delay = arrival.at - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await service.submit(arrival.request)
+
+    return list(
+        await asyncio.gather(*(one(a) for a in arrivals))
+    )
+
+
+def _report(
+    arrivals: Sequence[Arrival],
+    responses: Sequence[ServeResponse],
+    wall_s: float,
+    stats: dict,
+) -> ServeBenchReport:
+    latencies = [
+        r.latency_s for r in responses if r.status == OK
+    ]
+    lat_ms = (
+        np.asarray(latencies) * 1e3 if latencies else np.zeros(1)
+    )
+    paths = [r.path for r in responses]
+    shed = sum(
+        1 for r in responses if r.status.startswith("shed")
+    )
+    return ServeBenchReport(
+        n_requests=len(arrivals),
+        wall_s=wall_s,
+        throughput_rps=len(arrivals) / wall_s if wall_s > 0 else 0.0,
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        ok=sum(1 for r in responses if r.status == OK),
+        shed=shed,
+        expired=sum(1 for r in responses if r.status == "expired"),
+        failed=sum(1 for r in responses if r.status == "failed"),
+        inline_hits=paths.count("inline-cache"),
+        coalesced=paths.count("coalesced"),
+        degraded=paths.count("degraded"),
+        solo=paths.count("solo"),
+        batches=int(stats.get("batches", 0)),
+        pool_worker_restarts=int(stats.get("pool_worker_restarts", 0)),
+    )
+
+
+def run_arrivals(
+    arrivals: Sequence[Arrival],
+    *,
+    model: NodeModel | None = None,
+    pool: ShardedPool | None = None,
+    cache: EvalCache | None = None,
+    sim_cache: SimCache | None = None,
+    policy: AdaptiveBatchPolicy | None = None,
+    batch_window_s: float = 0.002,
+    max_queue: int = 1024,
+) -> ServeBenchReport:
+    """Run one arrival trace through a fresh service; returns a report."""
+
+    async def main() -> ServeBenchReport:
+        service = EvalService(
+            model=model,
+            pool=pool,
+            cache=cache,
+            sim_cache=sim_cache,
+            policy=policy,
+            batch_window_s=batch_window_s,
+            max_queue=max_queue,
+        )
+        async with service:
+            start = time.perf_counter()
+            responses = await _replay(service, arrivals)
+            wall = time.perf_counter() - start
+            stats = service.stats()
+        return _report(arrivals, responses, wall, stats)
+
+    return asyncio.run(main())
+
+
+def naive_baseline_rps(
+    arrivals: Sequence[Arrival],
+    pool: ShardedPool,
+    model: NodeModel | None = None,
+) -> float:
+    """The contrast case: one blocking ``pool.run`` round-trip per
+    request, no coalescing, no slab fan-out, no inline cache."""
+    model = model or NodeModel()
+    start = time.perf_counter()
+    for arrival in arrivals:
+        req = arrival.request
+        if isinstance(req, PointRequest):
+            space = req.to_space()
+            task = PoolTask(
+                fn=_serve_eval_slab,
+                args=(model, [req.profile], space, 0, None),
+                shard_key=("naive", req.profile.name),
+                label="naive-point",
+            )
+        elif isinstance(req, SweepRequest):
+            task = PoolTask(
+                fn=_serve_eval_slab,
+                args=(model, list(req.profiles), req.space, 0, None),
+                shard_key=("naive", req.profiles[0].name),
+                label="naive-sweep",
+            )
+        else:
+            continue
+        status, payload = pool.run([task])[0]
+        if status == "err":
+            raise payload
+    wall = time.perf_counter() - start
+    return len(arrivals) / wall if wall > 0 else 0.0
+
+
+def run_serve_bench(
+    *,
+    seed: int = 0,
+    n_requests: int = 200,
+    rate_hz: float | None = None,
+    shards: int = 2,
+    deadline_s: float | None = 0.25,
+    baseline: bool = False,
+    warmup: bool = True,
+    batch_window_s: float = 0.002,
+) -> ServeBenchReport:
+    """The full serve benchmark: warm cache pass (optional), measured
+    pass, optional naive-baseline contrast on the same pool.
+
+    ``rate_hz=None`` is the closed-loop capacity measurement; a rate
+    makes it the open-loop tail-latency measurement.
+    """
+    arrivals = synthetic_arrivals(
+        seed, n_requests, rate_hz=rate_hz, deadline_s=deadline_s
+    )
+    cache = EvalCache()
+    model = NodeModel()
+    pool = ShardedPool(shards) if shards > 0 else None
+    try:
+        if warmup:
+            # Warm pass on a private cache-less service state: same
+            # requests, so worker-side EvalCaches and the service cache
+            # hold every distinct template before measurement.
+            run_arrivals(
+                [Arrival(0.0, a.request) for a in arrivals],
+                model=model,
+                pool=pool,
+                cache=cache,
+                batch_window_s=batch_window_s,
+            )
+        report = run_arrivals(
+            arrivals,
+            model=model,
+            pool=pool,
+            cache=cache,
+            batch_window_s=batch_window_s,
+        )
+        if baseline and pool is not None:
+            import dataclasses
+
+            base_rps = naive_baseline_rps(arrivals, pool, model)
+            report = dataclasses.replace(
+                report,
+                baseline_rps=base_rps,
+                speedup=(
+                    report.throughput_rps / base_rps
+                    if base_rps > 0
+                    else None
+                ),
+            )
+        return report
+    finally:
+        if pool is not None:
+            pool.shutdown()

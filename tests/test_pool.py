@@ -9,6 +9,7 @@ DSE/experiment fan-outs against their serial counterparts.
 """
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -35,6 +36,11 @@ def _whoami(_tag=None):
 
 def _boom():
     raise ValueError("kaput")
+
+
+def _sleep_for(seconds):
+    time.sleep(seconds)
+    return seconds
 
 
 def _die_once(sentinel_path):
@@ -196,6 +202,48 @@ class TestFaultTolerance:
             out = p.run([PoolTask(fn=_square, args=(i,)) for i in range(6)])
             assert out == [i * i for i in range(6)]
             assert p.stats().worker_restarts == before + 2
+
+    def test_shutdown_while_run_in_flight(self):
+        """Regression: shutting the pool down mid-``run`` (from another
+        thread, as the serving layer's close path does) must fail the
+        run promptly instead of respawning replacement workers — the
+        shutdown finalizer runs only once, so replacements spawned
+        after it would never be reaped — and must leave no live worker
+        processes behind."""
+        import threading
+
+        p = _new_pool(1)
+        procs = [w.process for w in p._workers if w is not None]
+        failure: dict = {}
+
+        def runner():
+            try:
+                p.run(
+                    [PoolTask(fn=_sleep_for, args=(0.5,))
+                     for _ in range(6)]
+                )
+                failure["error"] = None
+            except RuntimeError as exc:
+                failure["error"] = exc
+
+        thread = threading.Thread(target=runner)
+        thread.start()
+        time.sleep(0.2)  # first task in flight on the worker
+        p.shutdown()
+        thread.join(timeout=30)  # pre-fix guard: the run must not hang
+        assert not thread.is_alive()
+        assert isinstance(failure.get("error"), RuntimeError)
+        assert "shut down" in str(failure["error"])
+        # No replacement workers were spawned and everything is dead.
+        deadline = time.monotonic() + 10
+        live = [w for w in p._workers if w is not None]
+        all_procs = procs + [w.process for w in live]
+        while time.monotonic() < deadline:
+            if not any(proc.is_alive() for proc in all_procs):
+                break
+            time.sleep(0.05)
+        assert not any(proc.is_alive() for proc in all_procs)
+        p.shutdown()  # still idempotent
 
 
 class TestObservabilityBridges:

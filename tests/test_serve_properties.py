@@ -1,0 +1,207 @@
+"""Hypothesis property tests for the serving batcher state machine.
+
+The :class:`~repro.serve.batcher.BatcherCore` carries the serving
+layer's correctness-critical invariants, so they get randomized
+hammering on top of the example tests:
+
+* **Conservation** — every admitted request terminates with exactly one
+  outcome: nothing lost, nothing duplicated, no matter how admissions,
+  plans, completions, expiries and flushes interleave.
+* **Explicit rejection** — a shed request (queue full or hopeless
+  deadline) always receives an explicit rejection outcome, never
+  silence.
+* **Within-stream order** — outcomes of accepted requests of one
+  stream are released in admission order, including the inline
+  fast path.
+* **Valid terminal statuses** — every outcome carries a status from
+  the public vocabulary.
+
+The driver interprets a hypothesis-generated action script against the
+core with a monotonically advancing virtual clock — the same sans-io
+surface the deterministic harness uses, just with adversarial
+schedules instead of a timing model.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.batcher import BatcherCore, FixedPolicy
+from repro.serve.requests import OK, SHED_DEADLINE, SHED_QUEUE_FULL, STATUSES
+
+STREAMS = ("alpha", "beta", "gamma")
+
+# One action of the interpreted script. Weighted toward admissions so
+# scripts actually fill queues and form batches.
+_action = st.one_of(
+    st.tuples(
+        st.just("admit"),
+        st.sampled_from(STREAMS),
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=0.05)),
+        st.booleans(),  # grouped vs solo
+    ),
+    st.tuples(
+        st.just("inline"),
+        st.sampled_from(STREAMS),
+    ),
+    st.tuples(st.just("plan")),
+    st.tuples(st.just("complete_oldest")),
+    st.tuples(st.just("complete_oldest_partial")),
+    st.tuples(
+        st.just("advance"),
+        st.floats(min_value=0.0, max_value=0.1),
+    ),
+    st.tuples(st.just("expire")),
+)
+
+_scripts = st.lists(_action, min_size=1, max_size=120)
+_policies = st.builds(
+    FixedPolicy,
+    batch=st.integers(min_value=1, max_value=9),
+    est_request_s=st.sampled_from([1e-4, 2e-3, 5e-2]),
+    dispatch_overhead_s=st.sampled_from([0.0, 1e-3]),
+)
+
+
+def _run_script(script, policy, max_queue):
+    """Interpret *script*; returns (admitted tickets, outcomes)."""
+    core = BatcherCore(policy, max_queue=max_queue)
+    now = 0.0
+    request_id = 0
+    tickets = []
+    inflight = []  # planned batches, oldest first
+    outcomes = []
+
+    for action in script:
+        kind = action[0]
+        if kind == "admit":
+            _, stream, deadline_s, grouped = action
+            ticket = core.admit(
+                ("request", request_id),
+                now,
+                stream=stream,
+                deadline_s=deadline_s,
+                group_key="g" if grouped else None,
+            )
+            tickets.append(ticket)
+            request_id += 1
+        elif kind == "inline":
+            _, stream = action
+            ticket = core.admit_completed(
+                ("request", request_id), ("hit", request_id), now,
+                stream=stream,
+            )
+            tickets.append(ticket)
+            request_id += 1
+        elif kind == "plan":
+            planned = core.plan(now)
+            if planned is not None:
+                inflight.append(planned)
+        elif kind == "complete_oldest":
+            if inflight:
+                planned = inflight.pop(0)
+                core.complete(
+                    planned.batch_id,
+                    {
+                        t.seq: (OK, (("answer", t.seq), "coalesced"))
+                        for t in planned.tickets
+                    },
+                    now,
+                )
+        elif kind == "complete_oldest_partial":
+            # Drop half the results: the core must fail the missing
+            # tickets rather than lose them.
+            if inflight:
+                planned = inflight.pop(0)
+                core.complete(
+                    planned.batch_id,
+                    {
+                        t.seq: (OK, ("answer", t.seq))
+                        for t in planned.tickets[::2]
+                    },
+                    now,
+                )
+        elif kind == "advance":
+            now += action[1]
+        elif kind == "expire":
+            core.expire(now)
+        outcomes.extend(core.poll_outcomes())
+
+    # Terminate everything still pending, like aclose() does.
+    for planned in inflight:
+        core.complete(
+            planned.batch_id,
+            {t.seq: (OK, ("answer", t.seq)) for t in planned.tickets},
+            now,
+        )
+    core.flush(now)
+    outcomes.extend(core.poll_outcomes())
+    return core, tickets, outcomes
+
+
+class TestBatcherInvariants:
+    @given(script=_scripts, policy=_policies,
+           max_queue=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=120, deadline=None)
+    def test_no_request_lost_or_duplicated(
+        self, script, policy, max_queue
+    ):
+        core, tickets, outcomes = _run_script(script, policy, max_queue)
+        admitted = Counter(t.seq for t in tickets)
+        answered = Counter(o.ticket.seq for o in outcomes)
+        assert admitted == answered
+        assert all(count == 1 for count in answered.values())
+        _ = core  # stats consistency checked below
+
+    @given(script=_scripts, policy=_policies,
+           max_queue=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=120, deadline=None)
+    def test_shed_requests_get_explicit_rejection(
+        self, script, policy, max_queue
+    ):
+        _, tickets, outcomes = _run_script(script, policy, max_queue)
+        by_seq = {o.ticket.seq: o for o in outcomes}
+        for ticket in tickets:
+            if ticket.stream_seq < 0:  # admission-shed
+                outcome = by_seq[ticket.seq]
+                assert outcome.status in (
+                    SHED_QUEUE_FULL, SHED_DEADLINE
+                )
+
+    @given(script=_scripts, policy=_policies,
+           max_queue=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=120, deadline=None)
+    def test_within_stream_release_order(
+        self, script, policy, max_queue
+    ):
+        _, _, outcomes = _run_script(script, policy, max_queue)
+        per_stream: dict = {}
+        for outcome in outcomes:
+            if outcome.ticket.stream_seq >= 0:
+                per_stream.setdefault(
+                    outcome.ticket.stream, []
+                ).append(outcome.ticket.stream_seq)
+        for stream, seqs in per_stream.items():
+            assert seqs == sorted(seqs), f"stream {stream} reordered"
+            # Dense: accepted stream_seqs 0..k-1 all released.
+            assert seqs == list(range(len(seqs)))
+
+    @given(script=_scripts, policy=_policies,
+           max_queue=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=120, deadline=None)
+    def test_statuses_valid_and_stats_balance(
+        self, script, policy, max_queue
+    ):
+        core, tickets, outcomes = _run_script(script, policy, max_queue)
+        assert all(o.status in STATUSES for o in outcomes)
+        stats = core.stats
+        assert stats["admitted"] == len(tickets)
+        terminal = (
+            stats["completed_ok"] + stats["failed"]
+            + stats["shed_queue_full"] + stats["shed_deadline"]
+            + stats["expired"] + stats["shutdown"]
+        )
+        assert terminal == stats["admitted"]
+        assert stats["accepted"] + stats["shed_queue_full"] + (
+            stats["shed_deadline"]
+        ) == stats["admitted"]

@@ -19,6 +19,11 @@ Usage::
                                         # pool round-trips
     python -m repro serve --serve-rate 500 --serve-requests 400
                                         # open-loop tail-latency run
+    python -m repro fleet               # fleet benchmark: sharded
+                                        # multi-node CU sweep vs the
+                                        # serial estimate loop
+    python -m repro fleet --fleet-nodes 5000 --fleet-groups 8
+                                        # bigger synthetic fleet
 """
 
 from __future__ import annotations
@@ -42,8 +47,9 @@ def main(argv: list[str] | None = None) -> int:
         "artifacts",
         nargs="*",
         help=(
-            "experiment ids (see 'list'), or 'all', 'list', or 'serve' "
-            "(run the serving-layer benchmark)"
+            "experiment ids (see 'list'), or 'all', 'list', 'serve' "
+            "(run the serving-layer benchmark), or 'fleet' (run the "
+            "sharded multi-node fleet benchmark)"
         ),
     )
     parser.add_argument(
@@ -141,6 +147,43 @@ def main(argv: list[str] | None = None) -> int:
             "and report the speedup"
         ),
     )
+    fleet_group = parser.add_argument_group("fleet benchmark")
+    fleet_group.add_argument(
+        "--fleet-bench",
+        action="store_true",
+        help="run the fleet benchmark (same as artifact 'fleet')",
+    )
+    fleet_group.add_argument(
+        "--fleet-nodes",
+        type=int,
+        metavar="N",
+        default=1000,
+        help="total nodes in the synthetic fleet (default 1000)",
+    )
+    fleet_group.add_argument(
+        "--fleet-groups",
+        type=int,
+        metavar="N",
+        default=6,
+        help="heterogeneous node groups (default 6)",
+    )
+    fleet_group.add_argument(
+        "--fleet-seed",
+        type=int,
+        metavar="SEED",
+        default=0,
+        help="synthetic-fleet seed (default 0)",
+    )
+    fleet_group.add_argument(
+        "--fleet-spill",
+        metavar="DIR",
+        default=None,
+        help=(
+            "shared spill directory: worker eval caches persist chunk "
+            "results there, so a later run (any pool, any process) "
+            "starts warm"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.artifacts == ["list"]:
@@ -174,8 +217,31 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
 
+    if args.fleet_bench or args.artifacts == ["fleet"]:
+        from repro.fleet.bench import run_fleet_bench
+
+        report = run_fleet_bench(
+            n_nodes=args.fleet_nodes,
+            n_groups=args.fleet_groups,
+            seed=args.fleet_seed,
+            shards=args.pool_shards or 2,
+            spill_dir=args.fleet_spill,
+        )
+        print(report.render())
+        if args.metrics_out:
+            from repro.obs.manifest import write_manifest
+
+            write_manifest(
+                args.metrics_out,
+                command="fleet-bench",
+                extra={"fleet_bench": report.as_dict()},
+            )
+        return 1 if not report.identical else 0
+
     if not args.artifacts:
-        parser.error("no artifacts requested (try 'list' or 'serve')")
+        parser.error(
+            "no artifacts requested (try 'list', 'serve', or 'fleet')"
+        )
 
     from repro.core import dse
     from repro.util import alloctune

@@ -118,6 +118,11 @@ class NodeModel:
         self.power_params = power_params or PowerParams()
         self.ext_config = ext_config or ExternalMemoryConfig.dram_only()
 
+    def with_machine(self, machine: MachineParams) -> "NodeModel":
+        """A copy of this model with different machine constants (e.g.
+        external bandwidth/latency derated by an inter-APU link tier)."""
+        return NodeModel(machine, self.power_params, self.ext_config)
+
     def with_power_params(self, power_params: PowerParams) -> "NodeModel":
         """A copy of this model with different power parameters."""
         return NodeModel(self.machine, power_params, self.ext_config)

@@ -78,7 +78,11 @@ __all__ = [
     "default_cache",
     "default_sim_cache",
     "default_memsys_cache",
+    "shared_cache",
     "evaluate_arrays_cached",
+    "fingerprint_model",
+    "fingerprint_profile",
+    "fingerprint_array",
     "evaluate_grid_cached",
     "simulate_trace_cached",
     "fingerprint_batch",
@@ -380,6 +384,18 @@ class _KeyedMemo:
             self._insert_locked(key, value)
         return value
 
+    def get_or_compute(self, key: tuple, compute: Callable[[], object]):
+        """Generic keyed lookup: the cached value for *key*, else
+        ``compute()`` — memoized, spilled, and counted like any other
+        entry.
+
+        For callers whose unit of work is not one of the built-in
+        shapes (the fleet sweep memoizes whole chunk results under
+        content keys it derives itself). *key* must be a picklable
+        tuple that covers everything the computation depends on.
+        """
+        return self._get_or_compute(tuple(key), compute)
+
     def stats(self) -> CacheStats:
         """Hit/miss/entry counters."""
         with self._lock:
@@ -640,6 +656,30 @@ _default_cache = EvalCache()
 def default_cache() -> EvalCache:
     """The process-wide shared cache the library routes through."""
     return _default_cache
+
+
+_shared_caches: dict[str, EvalCache] = {}
+
+
+def shared_cache(spill_dir: str | None = None) -> EvalCache:
+    """The process-local :class:`EvalCache` for one spill directory.
+
+    ``None`` is the plain :func:`default_cache`. Each distinct
+    *spill_dir* gets exactly one cache per process, created on first
+    use, whose entries persist to the directory — the fleet sweep's
+    cross-shard warm tier: every pool worker (and any *later* pool,
+    or another machine sharing the filesystem) pointed at the same
+    directory probes the same spill files, so work computed by one
+    shard is a disk hit everywhere else.
+    """
+    if spill_dir is None:
+        return _default_cache
+    key = os.fspath(spill_dir)
+    cache = _shared_caches.get(key)
+    if cache is None:
+        cache = EvalCache(spill_dir=key)
+        _shared_caches[key] = cache
+    return cache
 
 
 def evaluate_arrays_cached(

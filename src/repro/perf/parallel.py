@@ -93,7 +93,12 @@ from repro.perf.evalcache import (
 from repro.perf.pool import PoolTask, ShardedPool
 from repro.workloads.kernels import KernelProfile, ProfileBatch
 
-__all__ = ["run_all_experiments", "run_experiments", "parallel_explore"]
+__all__ = [
+    "grid_chunks",
+    "parallel_explore",
+    "run_all_experiments",
+    "run_experiments",
+]
 
 
 def _run_one(name: str) -> ExperimentResult:
@@ -245,6 +250,27 @@ def run_all_experiments(
 # ----------------------------------------------------------------------
 # Chunked design-space exploration
 # ----------------------------------------------------------------------
+def grid_chunks(size: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` bounds splitting *size* points into at
+    most *n_chunks* near-equal chunks.
+
+    The single source of the split used by the DSE point engine, the
+    tensor engine's CU slabs and profile blocks, and the fleet sweep —
+    deterministic, so every process derives identical chunk bounds from
+    ``(size, n_chunks)`` alone.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    bounds = np.linspace(
+        0, size, max(1, min(n_chunks, size)) + 1, dtype=int
+    )
+    return [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+
+
 _GRID_MEMO_CAP = 8
 _grid_memo: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
@@ -455,12 +481,7 @@ def _explore_chunks(
     metrics: bool,
 ) -> DseResult | tuple[DseResult, MetricsSnapshot]:
     """The point engine's fan-out: (profile, grid-chunk) tasks."""
-    bounds = np.linspace(0, space.size, n_chunks + 1, dtype=int)
-    chunks = [
-        (int(lo), int(hi))
-        for lo, hi in zip(bounds, bounds[1:])
-        if hi > lo
-    ]
+    chunks = grid_chunks(space.size, n_chunks)
 
     tasks = [
         (profile, chunk_idx, lo, hi)
@@ -548,20 +569,8 @@ def _explore_slabs(
         if isinstance(profiles, ProfileBatch)
         else ProfileBatch.from_profiles(profiles)
     )
-    n_slabs = max(1, min(n_chunks, len(space.cu_counts)))
-    slab_bounds = np.linspace(0, len(space.cu_counts), n_slabs + 1, dtype=int)
-    slabs = [
-        (int(lo), int(hi))
-        for lo, hi in zip(slab_bounds, slab_bounds[1:])
-        if hi > lo
-    ]
-    n_blocks = max(1, min(n_chunks, len(batch)))
-    block_bounds = np.linspace(0, len(batch), n_blocks + 1, dtype=int)
-    block_ranges = [
-        (int(lo), int(hi))
-        for lo, hi in zip(block_bounds, block_bounds[1:])
-        if hi > lo
-    ]
+    slabs = grid_chunks(len(space.cu_counts), n_chunks)
+    block_ranges = grid_chunks(len(batch), n_chunks)
     blocks = [batch[lo:hi] for lo, hi in block_ranges]
 
     tasks = [

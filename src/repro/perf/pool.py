@@ -302,6 +302,7 @@ class ShardedPool:
         self._batches = 0
         self._steals = 0
         self._restarts = 0
+        self._last_assignment = [0] * self.n_shards
         self._closed = False
         self._running = False
         # index -> (process, conn), kept in sync by _spawn; the
@@ -405,6 +406,25 @@ class ShardedPool:
             worker_restarts=self._restarts,
         )
 
+    def last_shard_task_counts(self) -> list[int]:
+        """Per-shard task counts of the most recent run's initial
+        assignment (before any stealing) — how evenly the shard keys
+        spread the work, independent of timing noise."""
+        return list(self._last_assignment)
+
+    def assignment_balance(self) -> float:
+        """Fair share over the largest shard load of the last run.
+
+        1.0 is a perfectly even key spread; ``check_fleet`` gates its
+        deterministic shard-scaling efficiency on this (stealing can
+        only improve on it at runtime).
+        """
+        counts = self._last_assignment
+        peak = max(counts, default=0)
+        if peak == 0:
+            return 1.0
+        return (sum(counts) / len(counts)) / peak
+
     def shard_snapshots(self) -> list[MetricsSnapshot]:
         """Per-shard accumulated worker metrics deltas."""
         return list(self._shard_totals)
@@ -480,6 +500,7 @@ class ShardedPool:
             else:
                 shard = stable_shard(task.shard_key, self.n_shards)
             queues[shard].append(index)
+        self._last_assignment = [len(q) for q in queues]
 
         # --- payload dedup: pin known payloads for the whole run ------
         pinned: dict[int, Any] = {}

@@ -59,6 +59,60 @@ class TestExascaleSystem:
         with pytest.raises(ValueError):
             ExascaleSystem(n_nodes=0)
 
+    def test_gflops_per_watt_units(self):
+        # The exascale target itself: 1 EF in 20 MW is 50 GF/W.
+        from repro.core.exascale import SystemEstimate
+
+        est = SystemEstimate(
+            exaflops=1.0,
+            machine_power_mw=20.0,
+            node_teraflops=10.0,
+            node_power_w=200.0,
+        )
+        assert est.gflops_per_watt == pytest.approx(50.0)
+
+    def test_gflops_per_watt_matches_node_ratio(self):
+        # Machine-level GF/W must equal the node-level flops/W ratio
+        # (scaling by n_nodes cancels) — this is what the old
+        # kilowatt-denominator bug broke by a factor of 1000.
+        system = ExascaleSystem()
+        est = system.estimate(
+            get_application("MaxFlops"),
+            EHPConfig(n_cus=320, gpu_freq=1e9, bandwidth=1e12),
+        )
+        node_gf_per_w = (est.node_teraflops * 1e3) / est.node_power_w
+        assert est.gflops_per_watt == pytest.approx(node_gf_per_w)
+
+    def test_cu_sweep_engines_equivalent(self):
+        system = ExascaleSystem()
+        profile = get_application("LULESH")
+        cus = (192, 224, 256, 288, 320, 384)
+        grid = system.cu_sweep(profile, cus, engine="grid")
+        point = system.cu_sweep(profile, cus, engine="point")
+        for g, p in zip(grid, point):
+            assert g.exaflops == pytest.approx(p.exaflops, rel=1e-12)
+            assert g.machine_power_mw == pytest.approx(
+                p.machine_power_mw, rel=1e-12
+            )
+            assert g.meets_exaflop == p.meets_exaflop
+            assert g.meets_power_envelope == p.meets_power_envelope
+
+    def test_cu_sweep_rejects_unknown_engine(self):
+        system = ExascaleSystem()
+        with pytest.raises(ValueError, match="unknown cu_sweep engine"):
+            system.cu_sweep(
+                get_application("MaxFlops"), (320,), engine="magic"
+            )
+
+    def test_cu_sweep_grid_validates_counts(self):
+        # The grid engine must reject exactly what the oracle rejects:
+        # counts not divisible by the chiplet count.
+        system = ExascaleSystem()
+        with pytest.raises(ValueError):
+            system.cu_sweep(
+                get_application("MaxFlops"), (321,), engine="grid"
+            )
+
 
 class TestOracleReconfigurator:
     def test_decisions_match_dse(self, small_space):

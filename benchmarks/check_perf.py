@@ -412,6 +412,12 @@ def check_obs_overhead(quick: bool) -> list[str]:
     under :func:`repro.obs.metrics.disabled`, and requires the
     instrumented run to stay within 5% — the layer's 'cheap enough to
     never turn off' promise. Also asserts the counters actually fired.
+
+    A second gate covers the serving path with *tracing active*: warm
+    closed-loop bursts through the in-process service with a live
+    tracer (request spans, queue-wait spans, batch spans, SLO
+    publication) vs the same bursts with metrics disabled and no
+    tracer, again within 5%.
     """
     import gc
     import statistics
@@ -480,6 +486,68 @@ def check_obs_overhead(quick: bool) -> list[str]:
         failures.append(
             f"observability overhead {overhead * 100.0:.1f}% > 5% "
             f"({attempts} attempts)"
+        )
+
+    # --- serve path, tracing active -------------------------------
+    from repro.perf.evalcache import EvalCache
+    from repro.serve.bench import run_arrivals
+    from repro.serve.workload import Arrival, synthetic_arrivals
+
+    n_req = 48 if quick else 120
+    serve_rounds = 6
+    arrivals = [
+        Arrival(0.0, a.request)
+        for a in synthetic_arrivals(3, n_req, deadline_s=None)
+    ]
+    cache = EvalCache()
+    run_arrivals(arrivals, pool=None, cache=cache)  # warm the caches
+
+    def serve_burst(traced: bool) -> float:
+        t0 = time.perf_counter()
+        if traced:
+            with obs_trace.trace():
+                run_arrivals(arrivals, pool=None, cache=cache)
+        else:
+            with obs_metrics.disabled():
+                run_arrivals(arrivals, pool=None, cache=cache)
+        return time.perf_counter() - t0
+
+    def measure_serve() -> float:
+        ratios = []
+        gc.collect()
+        gc.disable()
+        try:
+            for k in range(serve_rounds):
+                if k % 2 == 0:
+                    t_on = serve_burst(True)
+                    t_off = serve_burst(False)
+                else:
+                    t_off = serve_burst(False)
+                    t_on = serve_burst(True)
+                ratios.append(t_on / t_off)
+        finally:
+            gc.enable()
+        return statistics.median(ratios) - 1.0
+
+    with obs_trace.trace() as tracer:
+        run_arrivals(arrivals, pool=None, cache=cache)
+    if not any(e["name"].startswith("serve.") for e in tracer.events):
+        failures.append(
+            "active tracer recorded no serve.* spans on the serve "
+            "path (tracing not wired?)"
+        )
+
+    for attempt in range(attempts):
+        serve_overhead = measure_serve()
+        if serve_overhead <= 0.05:
+            break
+    print(f"serve obs overhead {n_req} warm requests ({serve_rounds} "
+          f"paired bursts, attempt {attempt + 1}/{attempts}): median "
+          f"traced/disabled ratio {serve_overhead * 100.0:+.1f}%")
+    if serve_overhead > 0.05:
+        failures.append(
+            f"serve-path observability overhead (tracing active) "
+            f"{serve_overhead * 100.0:.1f}% > 5% ({attempts} attempts)"
         )
     return failures
 

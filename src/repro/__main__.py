@@ -24,18 +24,50 @@ Usage::
                                         # serial estimate loop
     python -m repro fleet --fleet-nodes 5000 --fleet-groups 8
                                         # bigger synthetic fleet
+    python -m repro all --metrics-export metrics.jsonl
+                                        # stream interval metric diffs
+                                        # (JSONL) plus a final Prometheus
+                                        # text snapshot alongside
+    python -m repro obs report manifest.json
+                                        # where-did-the-time-go report
+    python -m repro obs diff BENCH_pr7.json BENCH_pr8.json
+    python -m repro obs diff .          # BENCH_pr* trajectory check;
+                                        # exit status = regressions
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.experiments.registry import EXPERIMENTS
 
 
+@contextlib.contextmanager
+def _metrics_export(path: str | None):
+    """Thread-mode live metrics export around a synchronous run."""
+    if not path:
+        yield None
+        return
+    from repro.obs.export import PeriodicSampler
+
+    sampler = PeriodicSampler(path, interval_s=0.25)
+    sampler.start()
+    try:
+        yield sampler
+    finally:
+        sampler.stop()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["obs"]:
+        # Reporting subcommands have their own argparse tree.
+        from repro.obs.report import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -100,6 +132,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "record spans for the run and write Chrome trace-event "
             "JSON to PATH (open in chrome://tracing or Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-export",
+        metavar="PATH",
+        default=None,
+        help=(
+            "stream interval metric diffs to PATH as JSONL while the "
+            "run is live, plus a final cumulative Prometheus text "
+            "snapshot next to it (.prom); works for experiments, "
+            "'serve', and 'fleet'"
         ),
     )
     serve_group = parser.add_argument_group("serving benchmark")
@@ -205,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
                 else None
             ),
             baseline=args.serve_baseline,
+            metrics_export=args.metrics_export,
         )
         print(report.render())
         if args.metrics_out:
@@ -220,13 +264,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.fleet_bench or args.artifacts == ["fleet"]:
         from repro.fleet.bench import run_fleet_bench
 
-        report = run_fleet_bench(
-            n_nodes=args.fleet_nodes,
-            n_groups=args.fleet_groups,
-            seed=args.fleet_seed,
-            shards=args.pool_shards or 2,
-            spill_dir=args.fleet_spill,
-        )
+        with _metrics_export(args.metrics_export):
+            report = run_fleet_bench(
+                n_nodes=args.fleet_nodes,
+                n_groups=args.fleet_groups,
+                seed=args.fleet_seed,
+                shards=args.pool_shards or 2,
+                spill_dir=args.fleet_spill,
+            )
         print(report.render())
         if args.metrics_out:
             from repro.obs.manifest import write_manifest
@@ -264,30 +309,31 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    if args.pool_shards > 0:
-        from repro.perf.parallel import run_experiments
-        from repro.perf.pool import ShardedPool
+    with _metrics_export(args.metrics_export):
+        if args.pool_shards > 0:
+            from repro.perf.parallel import run_experiments
+            from repro.perf.pool import ShardedPool
 
-        with ShardedPool(args.pool_shards) as pool:
+            with ShardedPool(args.pool_shards) as pool:
+                results = run_experiments(
+                    names,
+                    parallel=True,
+                    pool=pool,
+                    metrics_out=args.metrics_out,
+                    trace_out=args.trace_out,
+                )
+        elif args.jobs > 1 or args.metrics_out or args.trace_out:
+            from repro.perf.parallel import run_experiments
+
             results = run_experiments(
                 names,
-                parallel=True,
-                pool=pool,
+                parallel=args.jobs > 1,
+                max_workers=args.jobs if args.jobs > 1 else None,
                 metrics_out=args.metrics_out,
                 trace_out=args.trace_out,
             )
-    elif args.jobs > 1 or args.metrics_out or args.trace_out:
-        from repro.perf.parallel import run_experiments
-
-        results = run_experiments(
-            names,
-            parallel=args.jobs > 1,
-            max_workers=args.jobs if args.jobs > 1 else None,
-            metrics_out=args.metrics_out,
-            trace_out=args.trace_out,
-        )
-    else:
-        results = {name: EXPERIMENTS[name]() for name in names}
+        else:
+            results = {name: EXPERIMENTS[name]() for name in names}
     # `names` may repeat or reorder; honour the user's request order.
     for name in names:
         print(results[name].render())

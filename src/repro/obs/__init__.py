@@ -13,25 +13,42 @@ Three pieces, layered from always-on to opt-in:
   snapshot (imported lazily: it reaches back into the instrumented
   layers, and eager import would cycle).
 * :mod:`repro.obs.proc` — process-memory readings (RSS and peak RSS)
-  published as gauges, per run manifest and per pool worker.
+  published as gauges, per run manifest, per pool worker batch, and per
+  sampler interval.
+* :mod:`repro.obs.export` — Prometheus text formatting and the
+  :class:`~repro.obs.export.PeriodicSampler` JSONL time-series export
+  (``--metrics-export``).
+* :mod:`repro.obs.slo` — rolling-window latency/shed/error-budget
+  health tracking, published by the serving layer.
+* :mod:`repro.obs.report` — run reports and BENCH_* regression diffs
+  (``python -m repro obs report`` / ``obs diff``; imported lazily like
+  the manifest module).
 """
 
-from repro.obs import metrics, proc, trace
+from repro.obs import export, metrics, proc, slo, trace
+from repro.obs.export import PeriodicSampler
 from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     default_registry,
 )
-from repro.obs.trace import Tracer, active_tracer, span
+from repro.obs.slo import SloTracker
+from repro.obs.trace import SpanContext, Tracer, active_tracer, span
 
 __all__ = [
     "metrics",
     "proc",
     "trace",
+    "export",
+    "slo",
     "manifest",
+    "report",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PeriodicSampler",
+    "SloTracker",
     "default_registry",
+    "SpanContext",
     "Tracer",
     "active_tracer",
     "span",
@@ -39,8 +56,8 @@ __all__ = [
 
 
 def __getattr__(name):
-    if name == "manifest":
+    if name in ("manifest", "report"):
         import importlib
 
-        return importlib.import_module("repro.obs.manifest")
+        return importlib.import_module(f"repro.obs.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,9 +1,25 @@
-"""Span tracing with Chrome trace-event output.
+"""Span tracing with Chrome trace-event output and trace contexts.
 
 A :class:`Tracer` records complete (``"ph": "X"``) events — name,
 category, microsecond timestamp and duration, pid/tid, optional args —
 in the Chrome trace-event JSON format, so a run's timeline opens
 directly in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Every recorded span additionally carries a :class:`SpanContext` — a
+``trace_id`` plus hierarchical ``span_id``/``parent_id`` — stamped into
+the event's ``args``.  Contexts are what make a request's journey one
+connected tree across process boundaries: the serving layer stamps a
+context onto each admitted request, the sharded pool stamps a child
+context onto each task envelope, and workers open their spans *under*
+the shipped context, so after :meth:`Tracer.extend` merges the worker
+events back, parent/child edges line up exactly.
+
+Span ids are hierarchical (``"0"``, ``"0.1"``, ``"0.1.2"``…): a child's
+id extends its parent's, which keeps allocation deterministic (ids
+depend only on creation order under each parent, never on pids or
+wall-clock) and collision-free across workers — each worker mints
+children under a distinct shipped id.  Tests pin exact ids by seeding a
+tracer with a fixed root context.
 
 Tracing is opt-in where metrics are always-on: the instrumented layers
 call the module-level :func:`span`, which is a shared no-op context
@@ -17,8 +33,8 @@ Typical use::
     from repro.obs import trace as otrace
 
     with otrace.trace() as tracer:          # activates a Tracer
-        with otrace.span("dse.explore"):    # recorded
-            ...
+        with otrace.span("dse.explore") as ctx:   # recorded; ctx is
+            ...                                   # the SpanContext
     tracer.write("trace.json")              # open in Perfetto
 
 Instrumented library code only ever calls :func:`span`; it never pays
@@ -27,14 +43,56 @@ more than one module-attribute read when no tracer is active.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 from contextlib import contextmanager
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Iterator
 
-__all__ = ["Tracer", "span", "trace", "active_tracer"]
+__all__ = [
+    "SpanContext",
+    "Tracer",
+    "span",
+    "trace",
+    "active_tracer",
+    "current_context",
+]
+
+_TRACE_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    """Process-unique trace id (pid-qualified so ids survive merges)."""
+    return f"{os.getpid():x}-{next(_TRACE_IDS):x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity of one span: which trace it belongs to, its own id, and
+    its parent's id (``None`` for a root).
+
+    Picklable and tiny — it rides pool task envelopes across the
+    process boundary so workers can open child spans under it.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def root(cls, trace_id: str | None = None) -> "SpanContext":
+        """A fresh root context (span id ``"0"``)."""
+        return cls(trace_id if trace_id else _new_trace_id(), "0", None)
+
+    def as_args(self) -> dict:
+        """The id fields as Chrome-event ``args`` entries."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        return out
 
 
 class Tracer:
@@ -47,38 +105,156 @@ class Tracer:
         ``time.perf_counter``; tests inject a fake for deterministic
         timestamps. Event timestamps are microseconds relative to the
         tracer's construction instant.
+    context:
+        Root :class:`SpanContext` for the tracer. Defaults to a fresh
+        root with a process-unique trace id; tests pass a fixed one to
+        pin exact span ids.
     """
 
-    def __init__(self, clock: Callable[[], float] | None = None):
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        context: SpanContext | None = None,
+    ):
         self._clock = clock if clock is not None else perf_counter
         self._t0 = self._clock()
         self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._child_counts: dict[tuple[str, str], int] = {}
+        self.root = context if context is not None else SpanContext.root()
         self.events: list[dict] = []
+
+    def now(self) -> float:
+        """A raw reading of the tracer's clock (seconds).
+
+        Callers that measure an interval out-of-band (e.g. queue wait
+        between admit and dispatch) sample this and later hand both
+        readings to :meth:`record_span`, so their timestamps share the
+        tracer's timeline exactly.
+        """
+        return self._clock()
 
     def _now_us(self) -> float:
         return (self._clock() - self._t0) * 1e6
 
+    def _stack(self) -> list[SpanContext]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_context(self) -> SpanContext:
+        """The innermost open span's context on this thread, else the
+        tracer's root."""
+        stack = self._stack()
+        return stack[-1] if stack else self.root
+
+    def child_context(
+        self, parent: SpanContext | None = None
+    ) -> SpanContext:
+        """Allocate the next child context under *parent* (default: the
+        current context on this thread).
+
+        Allocation is deterministic: the n-th child of span ``P`` is
+        ``P.n``, counted per parent in creation order.
+        """
+        if parent is None:
+            parent = self.current_context()
+        key = (parent.trace_id, parent.span_id)
+        with self._lock:
+            n = self._child_counts.get(key, 0) + 1
+            self._child_counts[key] = n
+        return SpanContext(
+            parent.trace_id, f"{parent.span_id}.{n}", parent.span_id
+        )
+
+    def _record(self, event: dict, ctx: SpanContext, args: dict) -> None:
+        merged = ctx.as_args()
+        merged.update(args)
+        event["args"] = merged
+        with self._lock:
+            self.events.append(event)
+
     @contextmanager
-    def span(self, name: str, cat: str = "repro", **args) -> Iterator[None]:
-        """Record the enclosed block as one complete ("X") event."""
+    def span(
+        self,
+        name: str,
+        cat: str = "repro",
+        context: SpanContext | None = None,
+        parent: SpanContext | None = None,
+        **args,
+    ) -> Iterator[SpanContext]:
+        """Record the enclosed block as one complete ("X") event.
+
+        Yields the span's :class:`SpanContext`. By default the span is
+        a child of the innermost open span on this thread; *parent*
+        overrides the parent explicitly (for work that logically
+        belongs to a span opened on another thread), and *context*
+        adopts a pre-allocated identity wholesale (how workers open
+        spans under an id shipped in a task envelope).
+        """
+        ctx = context if context is not None else self.child_context(parent)
+        stack = self._stack()
+        stack.append(ctx)
         start = self._now_us()
         try:
-            yield
+            yield ctx
         finally:
             end = self._now_us()
-            event = {
+            # Pop *this* span's context: interleaved async spans on one
+            # thread can exit out of LIFO order.
+            if stack and stack[-1] is ctx:
+                stack.pop()
+            else:  # pragma: no cover - interleaved exit
+                try:
+                    stack.remove(ctx)
+                except ValueError:
+                    pass
+            self._record(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": end - start,
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                },
+                ctx,
+                args,
+            )
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "repro",
+        context: SpanContext | None = None,
+        parent: SpanContext | None = None,
+        **args,
+    ) -> SpanContext:
+        """Record a complete event from two raw :meth:`now` readings.
+
+        For intervals whose endpoints don't nest as a ``with`` block —
+        a request's queue wait is measured at admit and recorded at
+        dispatch. Returns the context the span was recorded under.
+        """
+        ctx = context if context is not None else self.child_context(parent)
+        self._record(
+            {
                 "name": name,
                 "cat": cat,
                 "ph": "X",
-                "ts": start,
-                "dur": end - start,
+                "ts": (start - self._t0) * 1e6,
+                "dur": (end - start) * 1e6,
                 "pid": os.getpid(),
                 "tid": threading.get_ident(),
-            }
-            if args:
-                event["args"] = args
-            with self._lock:
-                self.events.append(event)
+            },
+            ctx,
+            args,
+        )
+        return ctx
 
     def instant(self, name: str, cat: str = "repro", **args) -> None:
         """Record a zero-duration instant ("i") event."""
@@ -101,7 +277,9 @@ class Tracer:
         process by the sharded pool).
 
         Events are taken as-is: each already carries its own ``pid``, so
-        Perfetto renders them as separate process tracks. Timestamps are
+        Perfetto renders them as separate process tracks, and each
+        carries its originating span context in ``args``, so parent/
+        child edges stay connected across the merge. Timestamps are
         relative to the *originating* tracer's construction instant —
         per-track timelines are exact, cross-process alignment is not.
         """
@@ -153,7 +331,19 @@ def active_tracer() -> Tracer | None:
     return _active
 
 
-def span(name: str, cat: str = "repro", **args):
+def current_context() -> SpanContext | None:
+    """The active tracer's current context, or ``None`` when inactive."""
+    tracer = _active
+    return tracer.current_context() if tracer is not None else None
+
+
+def span(
+    name: str,
+    cat: str = "repro",
+    context: SpanContext | None = None,
+    parent: SpanContext | None = None,
+    **args,
+):
     """Span against the active tracer; a shared no-op when none is.
 
     This is the only call instrumented library code makes, so its
@@ -163,7 +353,7 @@ def span(name: str, cat: str = "repro", **args):
     tracer = _active
     if tracer is None:
         return _NULL_SPAN
-    return tracer.span(name, cat=cat, **args)
+    return tracer.span(name, cat=cat, context=context, parent=parent, **args)
 
 
 @contextmanager

@@ -52,8 +52,11 @@ Mechanics worth knowing:
   per-shard cache hit rates via :meth:`shard_cache_hit_rates`), worker
   ``proc.rss_bytes`` gauges are republished as
   ``pool.worker<N>.rss_bytes``, and when a tracer is active each task
-  runs under a worker-side span that is buffered and merged into the
-  parent's Chrome trace.
+  envelope ships a :class:`~repro.obs.trace.SpanContext` (a child of
+  the run's ``pool.run`` span, allocated in submission order) under
+  which the worker opens its task span — the buffered worker events
+  merge back into the parent's Chrome trace as one connected
+  parent→worker span tree.
 
 Workers default to the ``fork`` start method where available (a forked
 worker shares the parent's already-imported module graph, so spawning
@@ -177,11 +180,11 @@ def _worker_main(worker_id: int, conn) -> None:
         )
         replies = []
         with tracer_cm:
-            for index, fn, args, kwargs, label, skip_payload in items:
+            for index, fn, args, kwargs, label, skip_payload, ctx in items:
                 span_name = label or getattr(fn, "__name__", "task")
                 try:
                     with obs_trace.span(
-                        span_name, cat="pool", worker=worker_id
+                        span_name, cat="pool", context=ctx, worker=worker_id
                     ):
                         value = fn(*args, **(kwargs or {}))
                 except BaseException as exc:
@@ -487,7 +490,21 @@ class ShardedPool:
     ):
         n_tasks = len(tasks)
         want_metrics = metrics or obs_metrics.metrics_enabled()
-        want_trace = obs_trace.active_tracer() is not None
+        tracer = obs_trace.active_tracer()
+        want_trace = tracer is not None
+        # Trace contexts: one "pool.run" span owns the whole call, each
+        # task envelope ships a child context allocated in submission
+        # order (so span ids are deterministic regardless of stealing);
+        # workers open their task span under the shipped id.
+        run_ctx = None
+        task_ctxs: list = [None] * n_tasks
+        run_start = 0.0
+        if tracer is not None:
+            run_ctx = tracer.child_context()
+            task_ctxs = [
+                tracer.child_context(parent=run_ctx) for _ in range(n_tasks)
+            ]
+            run_start = tracer.now()
         if batch_size is None:
             fair_share = -(-n_tasks // self.n_shards)
             batch_size = max(1, -(-fair_share // 4))
@@ -563,6 +580,7 @@ class ShardedPool:
                         else None,
                         tasks[index].label,
                         index in pinned,
+                        task_ctxs[index],
                     )
                     for index in batch
                 ]
@@ -686,6 +704,15 @@ class ShardedPool:
                 elif not worker.process.is_alive():
                     on_death(worker_index)
 
+        if tracer is not None:
+            tracer.record_span(
+                "pool.run",
+                run_start,
+                tracer.now(),
+                cat="pool",
+                context=run_ctx,
+                tasks=n_tasks,
+            )
         if errors:
             errors.sort(key=lambda pair: pair[0])
             index, exc = errors[0]

@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.node import NodeModel
+from repro.obs.export import PeriodicSampler
 from repro.perf.evalcache import EvalCache, SimCache
 from repro.perf.pool import PoolTask, ShardedPool
 from repro.serve.adaptive import AdaptiveBatchPolicy
@@ -170,8 +171,14 @@ def run_arrivals(
     policy: AdaptiveBatchPolicy | None = None,
     batch_window_s: float = 0.002,
     max_queue: int = 1024,
+    sampler: PeriodicSampler | None = None,
 ) -> ServeBenchReport:
-    """Run one arrival trace through a fresh service; returns a report."""
+    """Run one arrival trace through a fresh service; returns a report.
+
+    A *sampler* rides inside the service's event loop
+    (``PeriodicSampler.run_async``) for the duration of the trace; the
+    caller still owns its final ``stop()``.
+    """
 
     async def main() -> ServeBenchReport:
         service = EvalService(
@@ -182,6 +189,7 @@ def run_arrivals(
             policy=policy,
             batch_window_s=batch_window_s,
             max_queue=max_queue,
+            sampler=sampler,
         )
         async with service:
             start = time.perf_counter()
@@ -238,12 +246,15 @@ def run_serve_bench(
     baseline: bool = False,
     warmup: bool = True,
     batch_window_s: float = 0.002,
+    metrics_export: str | None = None,
 ) -> ServeBenchReport:
     """The full serve benchmark: warm cache pass (optional), measured
     pass, optional naive-baseline contrast on the same pool.
 
     ``rate_hz=None`` is the closed-loop capacity measurement; a rate
-    makes it the open-loop tail-latency measurement.
+    makes it the open-loop tail-latency measurement. *metrics_export*
+    streams interval metric diffs for the measured pass to a JSONL
+    path (plus a final cumulative ``.prom`` snapshot next to it).
     """
     arrivals = synthetic_arrivals(
         seed, n_requests, rate_hz=rate_hz, deadline_s=deadline_s
@@ -251,6 +262,7 @@ def run_serve_bench(
     cache = EvalCache()
     model = NodeModel()
     pool = ShardedPool(shards) if shards > 0 else None
+    sampler: PeriodicSampler | None = None
     try:
         if warmup:
             # Warm pass on a private cache-less service state: same
@@ -263,12 +275,17 @@ def run_serve_bench(
                 cache=cache,
                 batch_window_s=batch_window_s,
             )
+        if metrics_export:
+            # Constructed after the warm pass: the sampler's baseline
+            # snapshot scopes the export to the measured pass.
+            sampler = PeriodicSampler(metrics_export, interval_s=0.25)
         report = run_arrivals(
             arrivals,
             model=model,
             pool=pool,
             cache=cache,
             batch_window_s=batch_window_s,
+            sampler=sampler,
         )
         if baseline and pool is not None:
             import dataclasses
@@ -285,5 +302,7 @@ def run_serve_bench(
             )
         return report
     finally:
+        if sampler is not None:
+            sampler.stop()
         if pool is not None:
             pool.shutdown()

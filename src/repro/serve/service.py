@@ -36,10 +36,19 @@ real clock and executes its planned batches on a single worker thread
 (``pool.run`` is blocking and non-reentrant).
 
 Observability: ``serve.*`` counters and timing histograms in the
-process registry (the adaptive policy reads them back), a per-request
-span per submission and a per-dispatch ``serve.batch`` span when a
-tracer is active, and a ``serve`` section in run manifests while the
-service is open.
+process registry (the adaptive policy reads them back), plus rolling
+``serve.slo.*`` health gauges (:class:`~repro.obs.slo.SloTracker`:
+window latency quantiles, shed/error rates, error-budget burn), and a
+``serve`` section in run manifests while the service is open. When a
+tracer is active every request gets a :class:`~repro.obs.trace.
+SpanContext` at admission; its queue wait is recorded as a child span
+at dispatch, a batch serving exactly one request parents its
+``serve.batch`` span under that request (a multi-request batch links
+the coalesced request span ids in its args), and the batch's pool
+tasks ship child contexts to the workers — one request renders as one
+connected admit → queue → batch → worker-slab span tree. An optional
+:class:`~repro.obs.export.PeriodicSampler` runs as an asyncio task
+while the service is open, streaming interval metric diffs to JSONL.
 """
 
 from __future__ import annotations
@@ -58,6 +67,8 @@ from repro.core.node import GridEvaluation, NodeModel
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.export import PeriodicSampler
+from repro.obs.slo import SloTracker
 from repro.perf.evalcache import (
     EvalCache,
     SimCache,
@@ -359,6 +370,15 @@ class EvalService:
         across the pool (smaller units run as one task).
     clock:
         Injected monotonic clock (tests use a fake one).
+    slo:
+        Rolling-window health tracker; defaults to an
+        :class:`~repro.obs.slo.SloTracker` on the service clock. Every
+        drained outcome is recorded and the derived signals published
+        as ``serve.slo.*`` gauges and in the manifest section.
+    sampler:
+        Optional :class:`~repro.obs.export.PeriodicSampler`; while the
+        service is open it runs as an asyncio task streaming interval
+        metric diffs (the caller owns ``stop()``).
     """
 
     def __init__(
@@ -375,6 +395,8 @@ class EvalService:
         slab_min_points: int = 2048,
         clock=time.monotonic,
         manifest_name: str = "serve",
+        slo: SloTracker | None = None,
+        sampler: PeriodicSampler | None = None,
     ):
         self.model = model or NodeModel()
         self.pool = pool
@@ -388,6 +410,15 @@ class EvalService:
         self.slab_min_points = int(slab_min_points)
         self.clock = clock
         self.manifest_name = manifest_name
+        self.slo = slo if slo is not None else SloTracker(clock=clock)
+        self.slo_publish_interval_s = 0.05
+        self._slo_published_at = float("-inf")
+        self.sampler = sampler
+        self._sampler_task: asyncio.Task | None = None
+        # seq -> (request SpanContext, tracer-clock admit reading);
+        # consumed at batch execution (queue-wait span) or outcome
+        # drain (shed/expired/inline), whichever comes first.
+        self._req_traces: dict[int, tuple] = {}
         self.core = BatcherCore(self.policy, max_queue=max_queue)
         self._model_fp = fingerprint_model(self.model)
         self._experiment_memo: dict[str, Any] = {}
@@ -421,6 +452,10 @@ class EvalService:
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop(), name="repro-serve-dispatch"
         )
+        if self.sampler is not None:
+            self._sampler_task = asyncio.get_running_loop().create_task(
+                self.sampler.run_async(), name="repro-serve-sampler"
+            )
         obs_manifest.register_section(
             self.manifest_name, self.manifest_section
         )
@@ -449,6 +484,13 @@ class EvalService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         obs_manifest.unregister_section(self.manifest_name)
         self._started = False
 
@@ -499,8 +541,18 @@ class EvalService:
             )
         kind = type(request).__name__
         obs_metrics.inc("serve.requests")
+        tracer = obs_trace.active_tracer()
+        # Explicitly a child of the root: concurrent submits interleave
+        # on the event-loop thread, so the thread-local "current span"
+        # could be another request's still-open span.
+        req_ctx = (
+            tracer.child_context(parent=tracer.root)
+            if tracer is not None
+            else None
+        )
         with obs_trace.span(
-            f"serve.{kind}", cat="serve", stream=request.stream
+            f"serve.{kind}", cat="serve", context=req_ctx,
+            stream=request.stream,
         ):
             now = self.clock()
             try:
@@ -524,6 +576,8 @@ class EvalService:
                     deadline_s=request.deadline_s,
                     group_key=group_key,
                 )
+                if tracer is not None:
+                    self._req_traces[ticket.seq] = (req_ctx, tracer.now())
             future = asyncio.get_running_loop().create_future()
             self._futures[ticket.seq] = future
             self._drain_outcomes()
@@ -651,8 +705,10 @@ class EvalService:
 
     def _drain_outcomes(self) -> None:
         """Resolve awaiting futures from the core's released outcomes."""
+        drained = 0
         for outcome in self.core.poll_outcomes():
             seq = outcome.ticket.seq
+            self._req_traces.pop(seq, None)
             future = self._futures.pop(seq, None)
             response = _response_from(outcome)
             if response.status != OK:
@@ -660,8 +716,18 @@ class EvalService:
             obs_metrics.observe(
                 "serve.request_latency_seconds", response.latency_s
             )
+            self.slo.record(response.latency_s, response.status)
+            drained += 1
             if future is not None and not future.done():
                 future.set_result(response)
+        if drained:
+            # Publication (rolling quantiles + gauge writes) is far
+            # heavier than recording, so it is throttled: the health
+            # gauges only need to be fresh on a human timescale.
+            now = self.clock()
+            if now - self._slo_published_at >= self.slo_publish_interval_s:
+                self._slo_published_at = now
+                self.slo.publish()
 
     # ------------------------------------------------------------------
     # Batch execution (worker thread)
@@ -676,11 +742,38 @@ class EvalService:
         them inline), and carves per-request answers back out of the
         merged tensors.
         """
+        tracer = obs_trace.active_tracer()
+        batch_parent = None
+        span_args: dict[str, Any] = {
+            "requests": len(planned.tickets),
+            "groups": len(planned.groups),
+        }
+        if tracer is not None:
+            now_raw = tracer.now()
+            req_ctxs = []
+            for ticket in planned.tickets:
+                entry = self._req_traces.pop(ticket.seq, None)
+                if entry is None:
+                    continue
+                ctx, admitted = entry
+                req_ctxs.append(ctx)
+                # Queue wait (admission to dispatch, including the
+                # coalescing window) as a child of the request span.
+                tracer.record_span(
+                    "serve.queue_wait", admitted, now_raw,
+                    cat="serve", parent=ctx, seq=ticket.seq,
+                )
+            if len(req_ctxs) == 1:
+                # A batch serving exactly one request is that request's
+                # child: admit -> queue -> batch -> worker slabs render
+                # as one connected flame.
+                batch_parent = req_ctxs[0]
+            elif req_ctxs:
+                span_args["request_spans"] = [
+                    c.span_id for c in req_ctxs
+                ]
         with obs_trace.span(
-            "serve.batch",
-            cat="serve",
-            requests=len(planned.tickets),
-            groups=len(planned.groups),
+            "serve.batch", cat="serve", parent=batch_parent, **span_args
         ):
             return self._execute_batch_inner(planned)
 
@@ -912,6 +1005,7 @@ class EvalService:
             out["pool_worker_restarts"] = pool_stats.worker_restarts
             out["pool_tasks"] = pool_stats.tasks
             out["pool_steals"] = pool_stats.steals
+        out["slo"] = self.slo.health()
         return out
 
     def manifest_section(self) -> dict:

@@ -26,6 +26,7 @@ from repro.fleet import (
     synthetic_fleet,
 )
 from repro.fleet.bench import identical_results, run_fleet_bench
+from repro.obs import trace as obs_trace
 from repro.perf.evalcache import clear_cache
 from repro.perf.pool import ShardedPool
 from repro.perfmodel.machine import MachineParams
@@ -234,6 +235,36 @@ class TestFleetSweep:
         )
         assert warm.counter("cache.eval.misses") == 0
         assert warm.counter("cache.eval.hits") == spec.n_series * 2
+
+    def test_fleet_chunks_render_connected_tree(self):
+        # One pooled fleet sweep = one pool.run span whose chunk tasks
+        # all hang off it, with worker-side spans carrying the shipped
+        # contexts — a single connected tree in Perfetto.
+        spec = small_fleet()
+        clear_cache()
+        tracer = obs_trace.Tracer(context=obs_trace.SpanContext.root("t1"))
+        with ShardedPool(n_shards=2) as pool:
+            with obs_trace.trace(tracer=tracer):
+                fleet_sweep(spec, CUS, pool=pool)
+
+        runs = [e for e in tracer.events if e["name"] == "pool.run"]
+        assert len(runs) == 1
+        run = runs[0]["args"]
+        assert run["trace_id"] == "t1"
+        assert run["span_id"] == "0.1"
+        assert run["parent_id"] == "0"
+        n_tasks = run["tasks"]
+        chunks = [
+            e for e in tracer.events if e["name"].startswith("fleet.")
+        ]
+        assert len(chunks) == n_tasks
+        assert {e["args"]["trace_id"] for e in chunks} == {"t1"}
+        assert {e["args"]["parent_id"] for e in chunks} == {"0.1"}
+        assert {e["args"]["span_id"] for e in chunks} == {
+            f"0.1.{i}" for i in range(1, n_tasks + 1)
+        }
+        # Chunk spans were recorded inside worker processes.
+        assert all(e["pid"] != runs[0]["pid"] for e in chunks)
 
     def test_pooled_bit_identity_cold_warm_and_after_death(self, tmp_path):
         spec = synthetic_fleet(n_nodes=60, n_groups=3, seed=5)

@@ -1,0 +1,367 @@
+"""Tests for live telemetry export and SLO health tracking.
+
+Covers the Prometheus text-exposition formatter and its exact-inverse
+parser (including a hypothesis property: format -> parse -> equal
+snapshot), the :class:`~repro.obs.export.PeriodicSampler` JSONL
+interval-diff stream under a fake clock (and the algebra tying the
+interval diffs back to the cumulative snapshot), and the rolling-window
+:class:`~repro.obs.slo.SloTracker` quantiles/rates/budget math.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.export import (
+    PeriodicSampler,
+    parse_prometheus_text,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.slo import SloTracker
+
+
+class FakeClock:
+    """A clock advancing `step` seconds per reading."""
+
+    def __init__(self, start: float = 1.0, step: float = 0.0):
+        self.now = start
+        self.step = step
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _hist(
+    bounds=(0.001, 0.01, 0.1), counts=(1, 2, 3, 4), total=0.5
+) -> HistogramSnapshot:
+    return HistogramSnapshot(
+        bounds=tuple(bounds),
+        counts=tuple(counts),
+        total=total,
+        count=sum(counts),
+    )
+
+
+class TestPrometheusText:
+    def test_counter_family(self):
+        snap = MetricsSnapshot(counters={"cache.eval.hits": 7})
+        text = prometheus_text(snap)
+        assert "# TYPE repro_cache_eval_hits_total counter" in text
+        assert "repro_cache_eval_hits_total 7" in text.splitlines()
+
+    def test_gauge_family(self):
+        snap = MetricsSnapshot(gauges={"proc.rss_bytes": 12345.0})
+        text = prometheus_text(snap)
+        assert "# TYPE repro_proc_rss_bytes gauge" in text
+        assert "repro_proc_rss_bytes 12345.0" in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative(self):
+        snap = MetricsSnapshot(histograms={"lat": _hist()})
+        lines = prometheus_text(snap).splitlines()
+        buckets = [l for l in lines if "_bucket" in l]
+        assert buckets == [
+            'repro_lat_bucket{le="0.001"} 1',
+            'repro_lat_bucket{le="0.01"} 3',
+            'repro_lat_bucket{le="0.1"} 6',
+            'repro_lat_bucket{le="+Inf"} 10',
+        ]
+        assert "repro_lat_sum 0.5" in lines
+        assert "repro_lat_count 10" in lines
+
+    def test_output_is_sorted_and_deterministic(self):
+        snap = MetricsSnapshot(counters={"b": 1, "a": 2}, gauges={"z": 0.0})
+        assert prometheus_text(snap) == prometheus_text(snap)
+        lines = prometheus_text(snap).splitlines()
+        assert lines.index("repro_a_total 2") < lines.index(
+            "repro_b_total 1"
+        )
+
+    def test_round_trip_hand_built(self):
+        snap = MetricsSnapshot(
+            counters={"runs": 3},
+            gauges={"depth": -2.5},
+            histograms={"lat": _hist(total=0.125)},
+        )
+        assert parse_prometheus_text(prometheus_text(snap)) == snap
+
+    def test_parse_rejects_untyped_sample(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("repro_x_total 3\n")
+
+    def test_write_prometheus_file(self, tmp_path):
+        snap = MetricsSnapshot(counters={"n": 1})
+        path = tmp_path / "out.prom"
+        write_prometheus(str(path), snap)
+        assert parse_prometheus_text(path.read_text()) == snap
+
+
+# Names already Prometheus-safe round-trip exactly; each family uses a
+# distinct prefix so `_total`/`_bucket`/`_sum`/`_count` suffixes can
+# never collide across families.
+_name = st.from_regex(r"[a-z][a-z0-9_]{0,12}", fullmatch=True).filter(
+    lambda s: not s.endswith(("_total", "_bucket", "_sum", "_count", "_"))
+)
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def _snapshots(draw):
+    counters = {
+        f"c_{name}": draw(st.integers(min_value=0, max_value=10**9))
+        for name in draw(st.sets(_name, max_size=3))
+    }
+    gauges = {
+        f"g_{name}": draw(_finite)
+        for name in draw(st.sets(_name, max_size=3))
+    }
+    histograms = {}
+    for name in draw(st.sets(_name, max_size=2)):
+        bounds = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.floats(
+                            min_value=1e-9,
+                            max_value=1e9,
+                            allow_nan=False,
+                        ),
+                        min_size=1,
+                        max_size=5,
+                    )
+                )
+            )
+        )
+        counts = tuple(
+            draw(st.integers(min_value=0, max_value=1000))
+            for _ in range(len(bounds) + 1)
+        )
+        histograms[f"h_{name}"] = HistogramSnapshot(
+            bounds=bounds,
+            counts=counts,
+            total=draw(_finite),
+            count=sum(counts),
+        )
+    return MetricsSnapshot(
+        counters=counters, gauges=gauges, histograms=histograms
+    )
+
+
+class TestPrometheusRoundTripProperty:
+    @given(snap=_snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_round_trip(self, snap):
+        assert parse_prometheus_text(prometheus_text(snap)) == snap
+
+
+# ----------------------------------------------------------------------
+# PeriodicSampler
+# ----------------------------------------------------------------------
+class TestPeriodicSampler:
+    def _sampler(self, tmp_path, registry, clock):
+        return PeriodicSampler(
+            str(tmp_path / "metrics.jsonl"),
+            interval_s=1.0,
+            registry=registry,
+            clock=clock,
+            wall_clock=lambda: 1700000000.0,
+            sample_proc=False,
+        )
+
+    def test_records_are_interval_diffs(self, tmp_path):
+        registry = MetricsRegistry()
+        clock = FakeClock(start=10.0)
+        sampler = self._sampler(tmp_path, registry, clock)
+
+        registry.inc("work", 3)
+        clock.advance(1.0)
+        first = sampler.sample()
+        assert first["sample"] == 1
+        assert first["elapsed_s"] == pytest.approx(1.0)
+        assert first["counters"] == {"work": 3}
+
+        registry.inc("work", 2)
+        registry.set_gauge("depth", 4.0)
+        clock.advance(1.0)
+        second = sampler.sample()
+        assert second["counters"] == {"work": 2}  # delta, not total
+        assert second["gauges"] == {"depth": 4.0}
+        sampler.stop(final=False)
+
+    def test_jsonl_lines_sum_to_cumulative(self, tmp_path):
+        registry = MetricsRegistry()
+        clock = FakeClock(start=0.0)
+        sampler = self._sampler(tmp_path, registry, clock)
+        for k in range(4):
+            registry.inc("work", k + 1)
+            registry.observe("lat", 0.01 * (k + 1))
+            clock.advance(1.0)
+            sampler.sample()
+        sampler.stop(final=False)
+
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "metrics.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert len(lines) == 4
+        total = sum(
+            rec.get("counters", {}).get("work", 0) for rec in lines
+        )
+        assert total == registry.snapshot().counter("work")
+        observed = sum(
+            rec.get("histograms", {}).get("lat", {}).get("count", 0)
+            for rec in lines
+        )
+        assert observed == 4
+
+    def test_stop_writes_cumulative_prometheus_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        clock = FakeClock(start=0.0, step=0.5)
+        sampler = self._sampler(tmp_path, registry, clock)
+        registry.inc("work", 3)
+        sampler.sample()
+        registry.inc("work", 4)
+        sampler.stop()  # final sample + .prom
+        prom = (tmp_path / "metrics.prom").read_text()
+        parsed = parse_prometheus_text(prom)
+        assert parsed.counter("work") == 7
+
+    def test_stop_is_idempotent_and_terminal(self, tmp_path):
+        registry = MetricsRegistry()
+        sampler = self._sampler(tmp_path, registry, FakeClock(step=0.1))
+        sampler.sample()
+        sampler.stop()
+        sampler.stop()
+        assert sampler.sample() is None
+
+    def test_context_manager(self, tmp_path):
+        registry = MetricsRegistry()
+        with self._sampler(tmp_path, registry, FakeClock(step=0.1)) as s:
+            registry.inc("n")
+            s.sample()
+        assert (tmp_path / "metrics.prom").exists()
+
+    def test_thread_mode_smoke(self, tmp_path):
+        registry = MetricsRegistry()
+        sampler = PeriodicSampler(
+            str(tmp_path / "m.jsonl"),
+            interval_s=0.01,
+            registry=registry,
+            sample_proc=False,
+        )
+        sampler.start()
+        registry.inc("n", 5)
+        import time as _time
+
+        _time.sleep(0.05)
+        sampler.stop()
+        lines = (tmp_path / "m.jsonl").read_text().splitlines()
+        assert lines  # sampled at least once
+        total = sum(
+            json.loads(l).get("counters", {}).get("n", 0) for l in lines
+        )
+        assert total == 5
+
+    def test_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            PeriodicSampler(str(tmp_path / "m.jsonl"), interval_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# SloTracker
+# ----------------------------------------------------------------------
+class TestSloTracker:
+    def test_quantiles_nearest_rank(self):
+        clock = FakeClock(start=0.0)
+        slo = SloTracker(clock=clock)
+        for ms in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+            slo.record(ms / 1e3, "ok")
+        health = slo.health()
+        assert health["requests"] == 10
+        assert health["p50_latency_s"] == pytest.approx(0.050)
+        assert health["p99_latency_s"] == pytest.approx(0.100)
+
+    def test_status_categorization(self):
+        slo = SloTracker(clock=FakeClock(start=0.0))
+        slo.record(0.01, "ok")
+        slo.record(None, "shed-queue-full")
+        slo.record(None, "expired")
+        slo.record(0.02, "failed")
+        slo.record(0.02, "shutdown")
+        health = slo.health()
+        assert health["ok"] == 1
+        assert health["shed"] == 2
+        assert health["errors"] == 2
+        assert health["shed_rate"] == pytest.approx(0.4)
+        assert health["error_rate"] == pytest.approx(0.4)
+
+    def test_budget_burn(self):
+        slo = SloTracker(clock=FakeClock(start=0.0), error_budget=0.1)
+        for _ in range(9):
+            slo.record(0.01, "ok")
+        slo.record(None, "shed")
+        health = slo.health()
+        # 10% bad over a 10% budget: exactly exhausted.
+        assert health["budget_burn"] == pytest.approx(1.0)
+        assert health["budget_remaining"] == pytest.approx(0.0)
+
+    def test_window_prunes_old_events(self):
+        clock = FakeClock(start=0.0)
+        slo = SloTracker(clock=clock, window_s=10.0)
+        slo.record(0.5, "ok")
+        clock.advance(11.0)
+        slo.record(0.001, "ok")
+        health = slo.health()
+        assert health["requests"] == 1
+        assert health["p99_latency_s"] == pytest.approx(0.001)
+
+    def test_p99_target_flag(self):
+        slo = SloTracker(clock=FakeClock(start=0.0), target_p99_s=0.05)
+        slo.record(0.01, "ok")
+        assert slo.health()["p99_within_target"] is True
+        slo.record(0.2, "ok")
+        assert slo.health()["p99_within_target"] is False
+
+    def test_publish_writes_gauges(self):
+        registry = MetricsRegistry()
+        slo = SloTracker(clock=FakeClock(start=0.0), registry=registry)
+        slo.record(0.025, "ok")
+        health = slo.publish()
+        gauges = registry.snapshot().gauges
+        assert gauges["serve.slo.requests"] == 1.0
+        assert gauges["serve.slo.p99_latency_s"] == pytest.approx(0.025)
+        assert gauges["serve.slo.p99_within_target"] == 1.0
+        assert health["requests"] == 1
+
+    def test_empty_window_is_healthy(self):
+        health = SloTracker(clock=FakeClock(start=0.0)).health()
+        assert health["requests"] == 0
+        assert health["budget_burn"] == 0.0
+        assert not math.isnan(health["p99_latency_s"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(window_s=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(error_budget=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(error_budget=1.5)

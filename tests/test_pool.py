@@ -299,6 +299,40 @@ class TestObservabilityBridges:
             }
             assert worker_pids and os.getpid() not in worker_pids
 
+    def test_task_spans_form_connected_tree_across_workers(self):
+        """One pool.run renders as one connected tree: every worker-side
+        task span is a child of the parent-side pool.run span, with
+        exact deterministic ids."""
+        tracer = obs_trace.Tracer(
+            context=obs_trace.SpanContext.root("t1")
+        )
+        with _new_pool(2) as p:
+            with obs_trace.trace(tracer=tracer):
+                p.run(
+                    [
+                        PoolTask(fn=_square, args=(i,), label=f"task.{i}")
+                        for i in range(4)
+                    ]
+                )
+        (run_event,) = [
+            e for e in tracer.events if e["name"] == "pool.run"
+        ]
+        assert run_event["args"]["trace_id"] == "t1"
+        assert run_event["args"]["span_id"] == "0.1"
+        assert run_event["args"]["parent_id"] == "0"
+        assert run_event["args"]["tasks"] == 4
+        task_events = [
+            e for e in tracer.events if e["name"].startswith("task.")
+        ]
+        assert len(task_events) == 4
+        for event in task_events:
+            assert event["args"]["trace_id"] == "t1"
+            assert event["args"]["parent_id"] == "0.1"
+        # Task ids are the four children of pool.run, one each.
+        assert {e["args"]["span_id"] for e in task_events} == {
+            "0.1.1", "0.1.2", "0.1.3", "0.1.4",
+        }
+
 
 class TestPayloadDedup:
     def test_repeat_run_returns_parent_cached_objects(self, pool):

@@ -22,6 +22,7 @@ from repro.core.config import DesignSpace
 from repro.core.dse import DseResult
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.perf.evalcache import EvalCache, SimCache
 from repro.perf.pool import ShardedPool
 from repro.serve import (
@@ -817,6 +818,165 @@ class TestServiceOnPool:
         statuses = {r.status for r in responses}
         assert statuses <= {SHUTDOWN, FAILED, OK}
         assert SHUTDOWN in statuses or FAILED in statuses
+
+
+# ----------------------------------------------------------------------
+# Request tracing: one submit -> one connected span tree
+# ----------------------------------------------------------------------
+class TestServeTracing:
+    def test_single_request_renders_connected_tree(
+        self, pool, model, maxflops, comd
+    ):
+        """One traced sweep request is one connected tree with pinned
+        ids: serve.SweepRequest (0.1) -> serve.queue_wait (0.1.1) +
+        serve.batch (0.1.2) -> pool.run -> worker task spans."""
+        import os
+
+        space = DesignSpace(
+            cu_counts=(192, 256, 320),
+            frequencies=(0.9e9, 1.2e9),
+            bandwidths=(1e12,),
+        )
+        request = SweepRequest((maxflops, comd), space)
+        tracer = obs_trace.Tracer(
+            context=obs_trace.SpanContext.root("t1")
+        )
+
+        async def scenario():
+            svc = _fresh_service(
+                model=model, pool=pool, batch_window_s=0.0,
+                slab_min_points=1,
+            )
+            async with svc:
+                return await svc.submit(request)
+
+        with obs_trace.trace(tracer=tracer):
+            response = asyncio.run(
+                asyncio.wait_for(scenario(), timeout=300)
+            )
+        assert response.status == OK
+
+        by_name: dict[str, list] = {}
+        for event in tracer.events:
+            by_name.setdefault(event["name"], []).append(event)
+
+        (req_event,) = by_name["serve.SweepRequest"]
+        assert req_event["args"]["trace_id"] == "t1"
+        assert req_event["args"]["span_id"] == "0.1"
+        assert req_event["args"]["parent_id"] == "0"
+
+        (wait_event,) = by_name["serve.queue_wait"]
+        assert wait_event["args"]["span_id"] == "0.1.1"
+        assert wait_event["args"]["parent_id"] == "0.1"
+        assert wait_event["dur"] >= 0
+
+        # A batch serving exactly one traced request parents under it.
+        (batch_event,) = by_name["serve.batch"]
+        assert batch_event["args"]["span_id"] == "0.1.2"
+        assert batch_event["args"]["parent_id"] == "0.1"
+
+        run_events = by_name["pool.run"]
+        assert run_events
+        run_ids = set()
+        for run_event in run_events:
+            assert run_event["args"]["parent_id"] == "0.1.2"
+            run_ids.add(run_event["args"]["span_id"])
+
+        worker_events = [
+            e
+            for e in tracer.events
+            if e["args"].get("parent_id") in run_ids
+            and e["name"] != "pool.run"
+        ]
+        assert worker_events
+        parent_pid = os.getpid()
+        for event in worker_events:
+            assert event["args"]["trace_id"] == "t1"
+            assert event["pid"] != parent_pid
+
+    def test_multi_request_batch_links_request_spans(
+        self, model, maxflops
+    ):
+        """A batch serving several requests can't be a child of all of
+        them; it records their span ids as links instead, and each
+        request still gets its own queue-wait child span."""
+        tracer = obs_trace.Tracer(
+            context=obs_trace.SpanContext.root("t1")
+        )
+
+        async def scenario():
+            svc = _fresh_service(model=model, batch_window_s=0.05)
+            async with svc:
+                return await asyncio.gather(
+                    *(
+                        svc.evaluate(
+                            maxflops, 192 + 64 * i, 1.0e9, 2e12
+                        )
+                        for i in range(3)
+                    )
+                )
+
+        with obs_trace.trace(tracer=tracer):
+            responses = asyncio.run(
+                asyncio.wait_for(scenario(), timeout=300)
+            )
+        assert all(r.status == OK for r in responses)
+
+        request_ids = {
+            e["args"]["span_id"]
+            for e in tracer.events
+            if e["name"] == "serve.PointRequest"
+        }
+        assert request_ids == {"0.1", "0.2", "0.3"}
+        linked: set = set()
+        for event in tracer.events:
+            if event["name"] != "serve.batch":
+                continue
+            spans = event["args"].get("request_spans")
+            if spans is not None:
+                linked.update(spans)
+            else:
+                # Singleton batch: parented under its one request.
+                linked.add(event["args"]["parent_id"])
+        assert linked == request_ids
+        wait_parents = {
+            e["args"]["parent_id"]
+            for e in tracer.events
+            if e["name"] == "serve.queue_wait"
+        }
+        assert wait_parents == request_ids
+
+    def test_untraced_requests_record_nothing(self, model, maxflops):
+        async def scenario():
+            svc = _fresh_service(model=model, batch_window_s=0.0)
+            async with svc:
+                response = await svc.evaluate(
+                    maxflops, 256, 1.0e9, 2e12
+                )
+                stats = svc.stats()
+            return response, stats
+
+        response, stats = asyncio.run(scenario())
+        assert response.status == OK
+        assert obs_trace.active_tracer() is None
+        assert stats["slo"]["requests"] == 1
+
+    def test_stats_report_slo_health(self, model, maxflops):
+        async def scenario():
+            svc = _fresh_service(model=model, batch_window_s=0.0)
+            async with svc:
+                for i in range(4):
+                    await svc.evaluate(
+                        maxflops, 192 + 64 * i, 1.0e9, 2e12
+                    )
+                return svc.stats()
+
+        stats = asyncio.run(scenario())
+        slo = stats["slo"]
+        assert slo["requests"] == 4
+        assert slo["ok"] == 4
+        assert slo["budget_burn"] == pytest.approx(0.0)
+        assert slo["p99_latency_s"] > 0.0
 
 
 # ----------------------------------------------------------------------

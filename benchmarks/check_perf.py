@@ -34,6 +34,14 @@ replicated below) and asserts the speedup ratios the layer promises:
   one-request-per-``pool.run`` baseline, p99 latency within the
   configured deadline with < 1% shed at the rated open-loop load, and
   every served response bit-identical to a direct serial evaluation,
+* transient thermal stepping: amortized-factorization backward-Euler
+  steps >= 10x the refactorize-per-step oracle on a Fig. 10-scale
+  grid with an absolute steps/sec floor, the transient fixed point
+  matching the steady-state ``solve`` within 1e-6 C, per-step
+  factored-vs-oracle agreement within 1e-9 C, lockstep batched
+  stepping bit-identical to per-scenario integration, and the
+  closed-loop governor keeping the simulated DRAM stack under the
+  85 C limit on a schedule whose uncontrolled replay exceeds it,
 
 plus numerical agreement (1e-9) between fast and reference paths.
 
@@ -224,6 +232,81 @@ def check_thermal(quick: bool) -> list[str]:
         failures.append(
             f"thermal solve_many speedup {batch_ratio:.1f}x < 15x"
         )
+    return failures
+
+
+def check_thermal_transient(quick: bool) -> list[str]:
+    """The transient thermal stepping + closed-loop control gates.
+
+    Runs :func:`repro.thermal.bench.run_thermal_loop_bench` on the
+    Fig. 10 grid (quick) or a 4x-refined one (full) and asserts:
+    amortized stepping >= 10x the refactorize-per-step oracle and above
+    an absolute steps/sec floor; the transient fixed point equals the
+    steady solve (<= 1e-6 C); a factored step equals an oracle step
+    from the same state (<= 1e-9 C); lockstep batched stepping is
+    bit-identical to per-scenario stepping; and the governed run stays
+    under the DRAM limit while the uncontrolled replay exceeds it with
+    at least one throttle intervention recorded.
+    """
+    from repro.thermal.bench import run_thermal_loop_bench
+
+    if quick:
+        report = run_thermal_loop_bench(factored_steps=300, oracle_steps=8)
+        steps_floor = 250.0
+    else:
+        report = run_thermal_loop_bench(
+            nx=132, ny=44, factored_steps=300, oracle_steps=6
+        )
+        steps_floor = 60.0
+
+    g, r = report.governed, report.replay
+    print(f"thermal transient {report.cells} cells: "
+          f"{report.steps_per_s:.0f} steps/s factored vs "
+          f"{report.oracle_steps / report.oracle_s:.0f} oracle -> "
+          f"{report.speedup:.1f}x (converge err {report.converge_err_c:.2e}, "
+          f"step err {report.oracle_step_err_c:.2e}, batched identical: "
+          f"{report.batch_identical})")
+    print(f"thermal loop: governed peak {g.max_peak_dram_c:.1f} C / "
+          f"{len(g.throttle_events)} throttles vs uncontrolled "
+          f"{r.max_peak_dram_c:.1f} C ({r.time_over_limit_s:.1f} s over "
+          f"the {r.limit_c:.0f} C limit)")
+
+    failures = []
+    if report.speedup < 10.0:
+        failures.append(
+            f"transient stepping speedup {report.speedup:.1f}x < 10x"
+        )
+    if report.steps_per_s < steps_floor:
+        failures.append(
+            f"transient stepping {report.steps_per_s:.0f} steps/s < "
+            f"{steps_floor:.0f} floor"
+        )
+    if report.converge_err_c > 1e-6:
+        failures.append(
+            f"transient fixed point vs steady solve: "
+            f"{report.converge_err_c:.2e} C > 1e-6"
+        )
+    if report.oracle_step_err_c > 1e-9:
+        failures.append(
+            f"factored step vs oracle step: "
+            f"{report.oracle_step_err_c:.2e} C > 1e-9"
+        )
+    if not report.batch_identical:
+        failures.append(
+            "lockstep batched stepping diverged from per-scenario steps"
+        )
+    if not g.within_limit:
+        failures.append(
+            f"governed run peaked at {g.max_peak_dram_c:.1f} C over the "
+            f"{g.limit_c:.0f} C limit"
+        )
+    if r.within_limit:
+        failures.append(
+            "uncontrolled replay stayed under the limit — the scenario "
+            "exercises no thermal constraint"
+        )
+    if not g.throttle_events:
+        failures.append("governed run recorded no throttle events")
     return failures
 
 
@@ -1052,6 +1135,7 @@ def check_fleet(quick: bool) -> list[str]:
 
 CHECKS = (
     ("thermal", check_thermal),
+    ("thermal_transient", check_thermal_transient),
     ("noc", check_noc),
     ("apu_sim", check_apu_sim),
     ("memsys", check_memsys),

@@ -24,6 +24,11 @@ Usage::
                                         # serial estimate loop
     python -m repro fleet --fleet-nodes 5000 --fleet-groups 8
                                         # bigger synthetic fleet
+    python -m repro thermal-loop        # transient thermal stepping +
+                                        # closed-loop governor vs
+                                        # uncontrolled replay
+    python -m repro thermal-loop --thermal-cycles 4 --thermal-dt-ms 5
+                                        # longer, finer-grained schedule
     python -m repro all --metrics-export metrics.jsonl
                                         # stream interval metric diffs
                                         # (JSONL) plus a final Prometheus
@@ -80,8 +85,9 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help=(
             "experiment ids (see 'list'), or 'all', 'list', 'serve' "
-            "(run the serving-layer benchmark), or 'fleet' (run the "
-            "sharded multi-node fleet benchmark)"
+            "(run the serving-layer benchmark), 'fleet' (run the "
+            "sharded multi-node fleet benchmark), or 'thermal-loop' "
+            "(run the transient thermal closed-loop benchmark)"
         ),
     )
     parser.add_argument(
@@ -227,6 +233,36 @@ def main(argv: list[str] | None = None) -> int:
             "starts warm"
         ),
     )
+    thermal_group = parser.add_argument_group("thermal-loop benchmark")
+    thermal_group.add_argument(
+        "--thermal-loop-bench",
+        action="store_true",
+        help=(
+            "run the transient thermal closed-loop benchmark (same as "
+            "artifact 'thermal-loop')"
+        ),
+    )
+    thermal_group.add_argument(
+        "--thermal-cycles",
+        type=int,
+        metavar="N",
+        default=2,
+        help="sprint/cool phase pairs in the schedule (default 2)",
+    )
+    thermal_group.add_argument(
+        "--thermal-dt-ms",
+        type=float,
+        metavar="MS",
+        default=10.0,
+        help="transient integration step in ms (default 10)",
+    )
+    thermal_group.add_argument(
+        "--thermal-steps",
+        type=int,
+        metavar="N",
+        default=400,
+        help="steps in the amortized-stepping timing loop (default 400)",
+    )
     args = parser.parse_args(argv)
 
     if args.artifacts == ["list"]:
@@ -260,6 +296,31 @@ def main(argv: list[str] | None = None) -> int:
                 extra={"serve_bench": report.as_dict()},
             )
         return 0
+
+    if args.thermal_loop_bench or args.artifacts == ["thermal-loop"]:
+        from repro.thermal.bench import run_thermal_loop_bench
+
+        with _metrics_export(args.metrics_export):
+            report = run_thermal_loop_bench(
+                dt=args.thermal_dt_ms / 1e3,
+                factored_steps=args.thermal_steps,
+                cycles=args.thermal_cycles,
+            )
+        print(report.render())
+        if args.metrics_out:
+            from repro.obs.manifest import write_manifest
+
+            write_manifest(
+                args.metrics_out,
+                command="thermal-loop-bench",
+                extra={"thermal_loop_bench": report.as_dict()},
+            )
+        ok = (
+            report.governed.within_limit
+            and not report.replay.within_limit
+            and report.batch_identical
+        )
+        return 0 if ok else 1
 
     if args.fleet_bench or args.artifacts == ["fleet"]:
         from repro.fleet.bench import run_fleet_bench

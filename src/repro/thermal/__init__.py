@@ -13,8 +13,19 @@ must stay below 85 C with a high-end air cooler at 50 C ambient.
 
 from repro.thermal.floorplan import EHPFloorplan, Region
 from repro.thermal.stack import LayerStack, ThermalLayer
-from repro.thermal.grid import ThermalGrid, TemperatureField
+from repro.thermal.grid import (
+    STEP_ENGINES,
+    TemperatureField,
+    TemperatureFieldBatch,
+    ThermalGrid,
+)
 from repro.thermal.analysis import ThermalModel, ThermalReport
+from repro.thermal.transient import (
+    PowerPhase,
+    ThermalMonitor,
+    TransientSolver,
+    TransientTrace,
+)
 
 __all__ = [
     "EHPFloorplan",
@@ -23,6 +34,12 @@ __all__ = [
     "ThermalLayer",
     "ThermalGrid",
     "TemperatureField",
+    "TemperatureFieldBatch",
+    "STEP_ENGINES",
     "ThermalModel",
     "ThermalReport",
+    "PowerPhase",
+    "TransientSolver",
+    "TransientTrace",
+    "ThermalMonitor",
 ]

@@ -13,6 +13,17 @@ per grid: :meth:`ThermalGrid.solve` caches a sparse LU factorization
 of triangular back-substitutions. :meth:`ThermalGrid.solve_many`
 back-substitutes a whole batch of power maps against the same
 factorization in one call.
+
+The same machinery powers the transient mode: an implicit backward-Euler
+step ``(C/dt + G) T' = (C/dt) T + P + G_b T_amb`` over the identical
+conductance matrix, where ``C`` is the diagonal per-cell heat capacity.
+``(C/dt + G)`` is factorized **once per step size** and cached, so every
+:meth:`ThermalGrid.step_transient` call is a single back/forward
+substitution; :meth:`ThermalGrid.step_transient_many` advances S
+independent scenarios in lockstep as one multi-RHS substitution. The
+``engine="oracle"`` path re-solves from the raw matrix every step
+(:func:`scipy.sparse.linalg.spsolve`) and is the retained correctness
+reference the factored path is gated against.
 """
 
 from __future__ import annotations
@@ -20,14 +31,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse import coo_matrix
-from scipy.sparse.linalg import splu
+from scipy.sparse import coo_matrix, diags
+from scipy.sparse.linalg import splu, spsolve
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.thermal.stack import LayerStack
 
-__all__ = ["TemperatureField", "ThermalGrid"]
+__all__ = [
+    "TemperatureField",
+    "TemperatureFieldBatch",
+    "ThermalGrid",
+    "STEP_ENGINES",
+]
+
+STEP_ENGINES = ("factored", "oracle")
+"""Transient step engines: amortized factorization vs per-step solve."""
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,40 @@ class TemperatureField:
     def mean(self, name: str) -> float:
         """Mean temperature of one layer."""
         return float(self.layer(name).mean())
+
+
+@dataclass(frozen=True)
+class TemperatureFieldBatch:
+    """A batch of solved fields, Celsius, shaped (k, n_layers, ny, nx).
+
+    Struct-of-arrays twin of a list of :class:`TemperatureField`: one
+    contiguous tensor instead of k per-map copies, so batched consumers
+    (the transient stepper, `solve_many` callers that only want peaks)
+    never materialize per-map objects.
+    """
+
+    celsius: np.ndarray
+    layer_names: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.celsius.shape[0]
+
+    def field(self, k: int) -> TemperatureField:
+        """The *k*-th map as a standalone :class:`TemperatureField`."""
+        return TemperatureField(
+            celsius=self.celsius[k], layer_names=self.layer_names
+        )
+
+    def fields(self) -> list[TemperatureField]:
+        """All maps as a list of :class:`TemperatureField` views."""
+        return [self.field(k) for k in range(len(self))]
+
+    def peaks(self, name: str | None = None) -> np.ndarray:
+        """Per-map hottest cell, overall or within one named layer."""
+        if name is None:
+            return self.celsius.max(axis=(1, 2, 3))
+        li = self.layer_names.index(name)
+        return self.celsius[:, li].max(axis=(1, 2))
 
 
 class ThermalGrid:
@@ -87,6 +140,31 @@ class ThermalGrid:
         self.cell_area = self.dx * self.dy
         self._system: tuple | None = None
         self._factor = None
+        # dt -> (splu factor of C/dt + G, C/dt vector)
+        self._transient: dict[float, tuple] = {}
+
+    # Geometry/stack attributes the cached factorizations depend on.
+    # Assigning any of them after a factorization exists silently
+    # invalidates the caches, so a stale factorization can never serve
+    # a mutated grid (the derived dx/dy/cell_area are recomputed when
+    # the extents or resolution move).
+    _PARAM_ATTRS = frozenset(
+        {"width_m", "depth_m", "nx", "ny", "stack"}
+    )
+
+    def __setattr__(self, name: str, value) -> None:
+        mutated = name in self._PARAM_ATTRS and (
+            getattr(self, "_system", None) is not None
+            or getattr(self, "_factor", None) is not None
+            or bool(getattr(self, "_transient", None))
+        )
+        super().__setattr__(name, value)
+        if mutated:
+            if name in ("width_m", "depth_m", "nx", "ny"):
+                super().__setattr__("dx", self.width_m / self.nx)
+                super().__setattr__("dy", self.depth_m / self.ny)
+                super().__setattr__("cell_area", self.dx * self.dy)
+            self.invalidate()
 
     @property
     def n_cells(self) -> int:
@@ -99,9 +177,11 @@ class ThermalGrid:
         return self._factor is not None
 
     def invalidate(self) -> None:
-        """Drop the cached matrix and factorization (rebuilt on demand)."""
-        self._system = None
-        self._factor = None
+        """Drop the cached matrix and factorizations (rebuilt on
+        demand), including every cached transient step operator."""
+        super().__setattr__("_system", None)
+        super().__setattr__("_factor", None)
+        super().__setattr__("_transient", {})
 
     def _index(self, layer: int, j: int, i: int) -> int:
         return (layer * self.ny + j) * self.nx + i
@@ -326,34 +406,183 @@ class ThermalGrid:
         obs_metrics.inc("thermal.solved_maps")
         return field
 
-    def solve_many(self, power_maps_batch: np.ndarray) -> list[TemperatureField]:
+    def _substitute_many(self, factor, rhs_rows: np.ndarray) -> np.ndarray:
+        """Back/forward-substitute k stacked right-hand sides.
+
+        *rhs_rows* is ``(k, n)`` row-major; the block is transposed into
+        the ``(n, k)`` column layout SuperLU consumes, substituted in
+        one call, and returned as contiguous ``(k, n)`` rows. SuperLU
+        solves the columns independently, so each row is bit-identical
+        to a single-vector :meth:`solve`-style substitution.
+        """
+        temps = factor.solve(np.ascontiguousarray(rhs_rows.T))
+        return np.ascontiguousarray(temps.T)
+
+    def solve_batch(self, power_maps_batch: np.ndarray) -> TemperatureFieldBatch:
         """Solve a whole batch of power maps against one factorization.
 
         *power_maps_batch* has shape ``(k, n_layers, ny, nx)``; the k
-        right-hand sides are back-substituted as one ``(n, k)`` matrix,
+        right-hand sides are back-substituted as one multi-RHS block,
         which is substantially faster than k sequential :meth:`solve`
-        calls.
+        calls, and land in one contiguous
+        :class:`TemperatureFieldBatch` tensor.
         """
         batch = self._validate_maps(power_maps_batch)
         if batch.ndim != 4:
             raise ValueError(
-                f"solve_many expects shape (k, n_layers, ny, nx), "
+                f"solve_batch expects shape (k, n_layers, ny, nx), "
                 f"got {batch.shape}"
             )
-        if batch.shape[0] == 0:
-            return []
         k = batch.shape[0]
+        shape = (k, self.stack.n_layers, self.ny, self.nx)
+        if k == 0:
+            return TemperatureFieldBatch(
+                celsius=np.empty(shape),
+                layer_names=tuple(l.name for l in self.stack.layers),
+            )
         with obs_trace.span(
             "thermal.solve_many", cells=self.n_cells, maps=k
         ), obs_metrics.timed("thermal.solve_seconds"):
             factor = self._ensure_factor()
             _, b_amb = self._system
-            rhs = (
-                batch.reshape(k, -1).T
-                + (b_amb * self.stack.ambient_c)[:, None]
+            rhs = batch.reshape(k, -1) + b_amb * self.stack.ambient_c
+            temps = self._substitute_many(factor, rhs)
+            fields = TemperatureFieldBatch(
+                celsius=temps.reshape(shape),
+                layer_names=tuple(l.name for l in self.stack.layers),
             )
-            temps = factor.solve(np.ascontiguousarray(rhs))
-            fields = [self._field(temps[:, col]) for col in range(k)]
         obs_metrics.inc("thermal.solves")
         obs_metrics.inc("thermal.solved_maps", k)
         return fields
+
+    def solve_many(self, power_maps_batch: np.ndarray) -> list[TemperatureField]:
+        """List-of-fields veneer over :meth:`solve_batch` (the multi-RHS
+        path); kept for callers that want standalone per-map fields."""
+        return self.solve_batch(power_maps_batch).fields()
+
+    # ------------------------------------------------------------------
+    # Transient stepping (implicit backward Euler)
+    # ------------------------------------------------------------------
+    def capacitance(self) -> np.ndarray:
+        """Per-cell heat capacity, J/K, ordered like the unknown vector."""
+        plane = self.ny * self.nx
+        return np.concatenate([
+            np.full(
+                plane,
+                layer.volumetric_heat_capacity
+                * layer.thickness_m
+                * self.cell_area,
+            )
+            for layer in self.stack.layers
+        ])
+
+    def _transient_system(self, dt: float):
+        """The step operator ``C/dt + G`` (sparse) and the ``C/dt``
+        vector for one step size."""
+        if self._system is None:
+            self._system = self._assemble()
+        matrix, _ = self._system
+        c_over_dt = self.capacitance() / dt
+        return (matrix + diags(c_over_dt)).tocsc(), c_over_dt
+
+    def _ensure_transient_factor(self, dt: float):
+        """Cached splu factorization of ``C/dt + G``, keyed by dt."""
+        entry = self._transient.get(dt)
+        if entry is None:
+            operator, c_over_dt = self._transient_system(dt)
+            entry = (splu(operator), c_over_dt)
+            self._transient[dt] = entry
+            obs_metrics.inc("thermal.transient_factorizations")
+        return entry
+
+    def _validate_step(
+        self, temps: np.ndarray, power_maps: np.ndarray, dt: float,
+        engine: str, ndim: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if engine not in STEP_ENGINES:
+            raise ValueError(
+                f"unknown step engine {engine!r}; choose from {STEP_ENGINES}"
+            )
+        if not dt > 0.0:
+            raise ValueError("dt must be positive")
+        power_maps = self._validate_maps(power_maps)
+        temps = np.asarray(temps, dtype=float)
+        if temps.shape != power_maps.shape or power_maps.ndim != ndim:
+            raise ValueError(
+                f"temps shape {temps.shape} and power shape "
+                f"{power_maps.shape} must both be "
+                f"{'(n_layers, ny, nx)' if ndim == 3 else '(s, n_layers, ny, nx)'}"
+            )
+        return temps, power_maps
+
+    def step_transient(
+        self,
+        temps: np.ndarray,
+        power_maps: np.ndarray,
+        dt: float,
+        engine: str = "factored",
+    ) -> np.ndarray:
+        """Advance one backward-Euler step of *dt* seconds.
+
+        *temps* and *power_maps* are both ``(n_layers, ny, nx)`` —
+        current cell temperatures (Celsius) and the power applied over
+        the step (watts per cell); returns the new temperature array.
+        ``engine="factored"`` (default) substitutes against the cached
+        ``C/dt + G`` factorization; ``engine="oracle"`` rebuilds and
+        solves the system from scratch every call — the per-step
+        correctness reference and the refactorize-per-step baseline the
+        perf gate measures against.
+        """
+        dt = float(dt)
+        temps, power_maps = self._validate_step(
+            temps, power_maps, dt, engine, ndim=3
+        )
+        if self._system is None:
+            self._system = self._assemble()
+        _, b_amb = self._system
+        rhs_const = power_maps.ravel() + b_amb * self.stack.ambient_c
+        if engine == "oracle":
+            operator, c_over_dt = self._transient_system(dt)
+            new = spsolve(operator, c_over_dt * temps.ravel() + rhs_const)
+        else:
+            factor, c_over_dt = self._ensure_transient_factor(dt)
+            new = factor.solve(c_over_dt * temps.ravel() + rhs_const)
+        return new.reshape(temps.shape)
+
+    def step_transient_many(
+        self,
+        temps: np.ndarray,
+        power_maps: np.ndarray,
+        dt: float,
+        engine: str = "factored",
+    ) -> np.ndarray:
+        """Advance S independent scenarios one step in lockstep.
+
+        *temps* and *power_maps* are ``(s, n_layers, ny, nx)``; the S
+        right-hand sides go through the factorization as one multi-RHS
+        substitution, bit-identical per scenario to S sequential
+        :meth:`step_transient` calls (SuperLU substitutes the columns
+        independently).
+        """
+        dt = float(dt)
+        temps, power_maps = self._validate_step(
+            temps, power_maps, dt, engine, ndim=4
+        )
+        s = temps.shape[0]
+        if s == 0:
+            return temps.copy()
+        if self._system is None:
+            self._system = self._assemble()
+        _, b_amb = self._system
+        rhs_const = (
+            power_maps.reshape(s, -1) + b_amb * self.stack.ambient_c
+        )
+        if engine == "oracle":
+            operator, c_over_dt = self._transient_system(dt)
+            rows = c_over_dt * temps.reshape(s, -1) + rhs_const
+            new = np.stack([spsolve(operator, row) for row in rows])
+        else:
+            factor, c_over_dt = self._ensure_transient_factor(dt)
+            rows = c_over_dt * temps.reshape(s, -1) + rhs_const
+            new = self._substitute_many(factor, rows)
+        return new.reshape(temps.shape)

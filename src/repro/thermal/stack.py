@@ -20,16 +20,23 @@ class ThermalLayer:
 
     ``conductivity`` is W/(m.K); ``thickness`` in metres. ``heat_source``
     marks layers that can carry a power map.
+    ``volumetric_heat_capacity`` is J/(m^3.K) and only matters to the
+    transient solver — the steady-state solve never reads it.
     """
 
     name: str
     thickness_m: float
     conductivity: float
     heat_source: bool = False
+    volumetric_heat_capacity: float = 1.63e6  # silicon, ~rho * c_p
 
     def __post_init__(self) -> None:
         if self.thickness_m <= 0 or self.conductivity <= 0:
             raise ValueError(f"layer {self.name}: non-physical parameters")
+        if self.volumetric_heat_capacity <= 0:
+            raise ValueError(
+                f"layer {self.name}: heat capacity must be positive"
+            )
 
     def vertical_resistance(self, area_m2: float) -> float:
         """Conduction resistance through the layer for one cell, K/W."""

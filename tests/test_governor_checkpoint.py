@@ -3,8 +3,9 @@
 import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.core.config import PAPER_BEST_MEAN
+from repro.core.config import EHPConfig, PAPER_BEST_MEAN
 from repro.core.governor import (
     DvfsGovernor,
     GovernorDecision,
@@ -95,6 +96,68 @@ class TestDvfsGovernor:
             DvfsGovernor(max_perf_loss=1.0)
         with pytest.raises(ValueError):
             DvfsGovernor().run_phases([], PAPER_BEST_MEAN)
+
+
+class TestRunPhasesEdgeCases:
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsGovernor().run_phases([], PAPER_BEST_MEAN)
+
+    def test_single_candidate_config_is_noop(self):
+        # A one-entry ladder at the config's own frequency plus a gate
+        # step spanning every CU leaves exactly one candidate — the
+        # starting point itself — so the governor must sit still.
+        governor = DvfsGovernor(
+            freq_ladder=[PAPER_BEST_MEAN.gpu_freq],
+            cu_gate_step=PAPER_BEST_MEAN.n_cus,
+        )
+        profile = get_application("LULESH")
+        assert governor._candidates(PAPER_BEST_MEAN) == [
+            (PAPER_BEST_MEAN, 0)
+        ]
+        d = governor.decide(profile, PAPER_BEST_MEAN)
+        assert d.config == PAPER_BEST_MEAN
+        assert d.gated_cus == 0
+        assert d.predicted_perf_loss == 0.0
+        out = governor.run_phases([profile], PAPER_BEST_MEAN)
+        assert out["slowdown"] == pytest.approx(0.0)
+        assert out["energy_saving"] == pytest.approx(0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(("MaxFlops", "CoMD", "LULESH", "SNAP")),
+        n_chiplets=st.sampled_from((1, 2, 4, 8)),
+        cus_per_chiplet=st.integers(min_value=1, max_value=48),
+        freq_mhz=st.integers(min_value=700, max_value=1500),
+        ladder_mhz=st.lists(
+            st.integers(min_value=500, max_value=2000),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        max_perf_loss=st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_governor_only_backs_off(
+        self, name, n_chiplets, cus_per_chiplet, freq_mhz, ladder_mhz,
+        max_perf_loss,
+    ):
+        # The DSE sets the cap; whatever the ladder offers (including
+        # frequencies above the cap), the governor may only move down
+        # in both frequency and CU count.
+        config = EHPConfig(
+            n_cus=n_chiplets * cus_per_chiplet,
+            gpu_freq=freq_mhz * 1e6,
+            n_gpu_chiplets=n_chiplets,
+        )
+        governor = DvfsGovernor(
+            freq_ladder=[f * 1e6 for f in ladder_mhz],
+            max_perf_loss=max_perf_loss,
+        )
+        d = governor.decide(get_application(name), config)
+        assert d.config.gpu_freq <= config.gpu_freq
+        assert d.config.n_cus <= config.n_cus
+        assert d.config.n_cus == config.n_cus - d.gated_cus
+        assert d.config.n_cus % config.n_gpu_chiplets == 0
 
 
 class TestCheckpointModel:
